@@ -1,0 +1,149 @@
+// Command aryn is the end-to-end Aryn CLI: generate or load an NTSB-style
+// corpus, ingest it through the DocParse→Sycamore ETL pipeline, and answer
+// natural-language questions with Luna — printing the generated plan, the
+// compiled Sycamore pipeline, and the execution trace for inspection, the
+// textual equivalent of the Figure 6 UI.
+//
+// Usage:
+//
+//	aryn -docs 100 -q "How many incidents were there by state?" -show-plan -show-trace
+//	aryn -docs 100 -interactive        # conversational session with follow-ups
+//	aryn -demo schema                  # print the extracted Table 3 schema
+//	aryn -rag -q "..."                 # answer via the RAG baseline instead
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aryn/internal/core"
+	"aryn/internal/luna"
+	"aryn/internal/ntsb"
+)
+
+func main() {
+	var (
+		nDocs       = flag.Int("docs", 100, "number of synthetic NTSB accidents to generate and ingest")
+		seed        = flag.Int64("seed", 42, "corpus seed")
+		sysSeed     = flag.Int64("system-seed", 7, "system (LLM/models) seed")
+		question    = flag.String("q", "", "natural-language question to answer")
+		interactive = flag.Bool("interactive", false, "start a conversational session on stdin")
+		showPlan    = flag.Bool("show-plan", false, "print the logical plan JSON")
+		showTrace   = flag.Bool("show-trace", false, "print the execution trace")
+		showDocs    = flag.Bool("show-docs", false, "print result documents (drill-down)")
+		useRAG      = flag.Bool("rag", false, "answer with the RAG baseline instead of Luna")
+		demo        = flag.String("demo", "", "demo mode: 'schema' prints the extracted schema (Table 3)")
+		parallelism = flag.Int("parallelism", 8, "Sycamore stage parallelism")
+	)
+	flag.Parse()
+
+	if err := run(*nDocs, *seed, *sysSeed, *parallelism, *question, *demo, *interactive, *showPlan, *showTrace, *showDocs, *useRAG); err != nil {
+		fmt.Fprintln(os.Stderr, "aryn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string, interactive, showPlan, showTrace, showDocs, useRAG bool) error {
+	ctx := context.Background()
+	fmt.Printf("generating %d synthetic NTSB accidents (seed %d)...\n", nDocs, seed)
+	corpus, err := ntsb.GenerateCorpus(nDocs, seed)
+	if err != nil {
+		return err
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		return err
+	}
+	sys := core.New(core.Config{Seed: sysSeed, Parallelism: parallelism})
+	fmt.Printf("ingesting %d report documents (DocParse -> llmExtract -> index)...\n", len(blobs))
+	stats, err := sys.Ingest(ctx, blobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested: %d documents, %d chunks, %s wall, %d LLM calls (%d tokens)\n\n",
+		stats.Documents, stats.Chunks, stats.Wall.Round(1e6), stats.Usage.Calls, stats.Usage.Total())
+
+	switch {
+	case demo == "schema":
+		fmt.Println("Extracted schema (Table 3):")
+		fmt.Print(sys.Schema.PromptBlock())
+		return nil
+	case interactive:
+		return repl(ctx, sys, showPlan, showTrace, showDocs)
+	case question != "":
+		return answer(ctx, sys, question, showPlan, showTrace, showDocs, useRAG)
+	default:
+		flag.Usage()
+		return nil
+	}
+}
+
+func answer(ctx context.Context, sys *core.System, q string, showPlan, showTrace, showDocs, useRAG bool) error {
+	if useRAG {
+		resp, err := sys.AskRAG(ctx, q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("RAG (k=%d, %d chunks, %d poisoned):\n%s\n", sys.RAG.K, resp.Retrieved, resp.PoisonedChunks, resp.Text)
+		return nil
+	}
+	res, err := sys.Ask(ctx, q)
+	if err != nil {
+		return err
+	}
+	printResult(res, showPlan, showTrace, showDocs)
+	return nil
+}
+
+func printResult(res *luna.Result, showPlan, showTrace, showDocs bool) {
+	fmt.Printf("Q: %s\nA: %s\n", res.Question, res.Answer.String())
+	if showPlan {
+		fmt.Println("\n-- logical plan --")
+		fmt.Println(res.Rewritten.JSON())
+		fmt.Println("\n-- compiled Sycamore pipeline --")
+		fmt.Println(res.Compiled)
+	}
+	if showTrace && res.Trace != nil {
+		fmt.Println("\n-- execution trace --")
+		fmt.Print(res.Trace.String())
+	}
+	if showDocs {
+		fmt.Println("\n-- result documents --")
+		for i, d := range res.Docs {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more\n", len(res.Docs)-10)
+				break
+			}
+			fmt.Printf("  %s %s\n", d.ID, d.Properties.JSON())
+		}
+	}
+	fmt.Println()
+}
+
+func repl(ctx context.Context, sys *core.System, showPlan, showTrace, showDocs bool) error {
+	fmt.Println("conversational session — ask questions; follow-ups like \"what about X\" refine the last query; 'quit' to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("luna> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		q := strings.TrimSpace(sc.Text())
+		switch q {
+		case "":
+			continue
+		case "q", "quit", "exit":
+			return nil
+		}
+		res, err := sys.Ask(ctx, q)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res, showPlan, showTrace, showDocs)
+	}
+}

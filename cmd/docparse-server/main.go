@@ -1,0 +1,55 @@
+// Command docparse-server runs DocParse as the REST service of §4: POST a
+// raw document to /v1/document/partition and receive the labeled chunks
+// as JSON (or Markdown / an element listing via ?format=).
+//
+// Usage:
+//
+//	docparse-server -addr :8087
+//	curl -s --data-binary @report.rawdoc 'localhost:8087/v1/document/partition?format=markdown'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"aryn/internal/docparse"
+	"aryn/internal/vision"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8087", "listen address")
+		seed    = flag.Int64("seed", 1, "model seed")
+		service = flag.String("service", "docparse", "segmentation service: docparse|textract|unstructured|azure")
+	)
+	flag.Parse()
+
+	var opts []docparse.Option
+	switch *service {
+	case "docparse":
+		// default model
+	case "textract":
+		opts = append(opts, docparse.WithSegmenter(vision.NewModel("Amazon Textract", *seed, vision.ProfileTextract())))
+	case "unstructured":
+		opts = append(opts, docparse.WithSegmenter(vision.NewModel("Unstructured (YoloX)", *seed, vision.ProfileUnstructured())))
+	case "azure":
+		opts = append(opts, docparse.WithSegmenter(vision.NewModel("Azure AI Document Intelligence", *seed, vision.ProfileAzure())))
+	default:
+		log.Fatalf("docparse-server: unknown service %q", *service)
+	}
+	opts = append(opts, docparse.WithSeed(*seed))
+
+	handler := docparse.NewHandler(docparse.New(opts...))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("docparse-server listening on %s (service=%s)\n", *addr, *service)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

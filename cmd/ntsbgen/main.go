@@ -1,0 +1,83 @@
+// Command ntsbgen generates the synthetic NTSB incident-report corpus to
+// disk: one rawdoc blob per report plus a ground-truth CSV for scoring.
+//
+// Usage:
+//
+//	ntsbgen -docs 100 -out ./ntsb_data
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"aryn/internal/ntsb"
+)
+
+func main() {
+	var (
+		nDocs = flag.Int("docs", 100, "number of accidents to generate")
+		seed  = flag.Int64("seed", 42, "corpus seed")
+		out   = flag.String("out", "ntsb_data", "output directory")
+	)
+	flag.Parse()
+
+	if err := run(*nDocs, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ntsbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nDocs int, seed int64, out string) error {
+	corpus, err := ntsb.GenerateCorpus(nDocs, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		return err
+	}
+	for id, blob := range blobs {
+		if err := os.WriteFile(filepath.Join(out, id+".rawdoc"), blob, 0o644); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(filepath.Join(out, "ground_truth.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"report_id", "accident_number", "city", "state", "date", "aircraft",
+		"manufacturer", "category", "registration", "damage", "engines", "cause",
+		"damaged_part", "injuries", "fatal", "weather_related", "bird_strike"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i := range corpus.Incidents {
+		in := &corpus.Incidents[i]
+		row := []string{
+			in.ReportID, in.AccidentNumber, in.City, in.State,
+			in.Date.Format("2006-01-02 15:04"), in.Aircraft, in.Manufacturer,
+			in.Category, in.Registration, in.Damage, strconv.Itoa(in.Engines),
+			string(in.Cause), in.DamagedPart, in.InjuryText, strconv.Itoa(in.Fatal),
+			strconv.FormatBool(in.WeatherRelated), strconv.FormatBool(in.BirdStrike),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d reports (%d accidents) + ground_truth.csv to %s\n", len(blobs), nDocs, out)
+	return nil
+}

@@ -1,0 +1,78 @@
+// Conversational analytics: the §6.2 interaction pattern — ask a
+// question, inspect the generated plan and execution trace, then refine
+// with follow-ups ("what about …", "show only …") that implicitly reuse
+// the previous query. This is the Figure 6 user experience as an API.
+//
+//	go run ./examples/conversational
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"aryn/internal/core"
+	"aryn/internal/ntsb"
+)
+
+func main() {
+	ctx := context.Background()
+
+	corpus, err := ntsb.GenerateCorpus(60, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.New(core.Config{Seed: 7})
+	if _, err := sys.Ingest(ctx, blobs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Opening question.
+	res, err := sys.Ask(ctx, "How many incidents involved substantial damage?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1: %s\nA1: %s\n\n", res.Question, res.Answer.String())
+
+	// Verifiability: the user inspects the plan...
+	fmt.Println("generated plan (user-inspectable, §6.2):")
+	fmt.Println(res.Rewritten.JSON())
+
+	// ...and the per-operator lineage trace before trusting the answer.
+	fmt.Println("\nexecution trace:")
+	fmt.Print(res.Trace.String())
+
+	// Follow-up 1: switch the damage level, keep the query shape.
+	res2, err := sys.Ask(ctx, "what about destroyed aircraft?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ2 (follow-up): %s\nA2: %s\n", res2.Question, res2.Answer.String())
+	fmt.Println("merged plan:", res2.Rewritten.String())
+
+	// Follow-up 2: narrow geographically, still keeping the terminal.
+	res3, err := sys.Ask(ctx, "show only results in California")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ3 (follow-up): %s\nA3: %s\n", res3.Question, res3.Answer.String())
+	fmt.Println("merged plan:", res3.Rewritten.String())
+
+	// Power-user path: edit the plan directly and re-run (the Figure 6
+	// "modify any part of the plan" affordance).
+	edited := res3.Rewritten
+	for i := range edited.Ops {
+		if edited.Ops[i].Op == "queryDatabase" {
+			edited.Ops[i].Filters = edited.Ops[i].Filters[:0] // drop all filters
+		}
+	}
+	res4, err := sys.Query.RunPlan(ctx, "(edited plan: no filters)", edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ4 (user-edited plan): %s -> %s\n", res4.Question, res4.Answer.String())
+}

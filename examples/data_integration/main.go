@@ -1,0 +1,106 @@
+// Data integration: the paper's §1 pattern ("the competitive information
+// may involve a lookup in a database in addition to a sweep-and-harvest
+// phase") and §9 future work (joins, external sources). A sweep over the
+// incident corpus is joined against an external manufacturer registry —
+// the data-warehouse dimension table — to answer a question neither
+// source can answer alone.
+//
+//	go run ./examples/data_integration
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"aryn/internal/core"
+	"aryn/internal/docmodel"
+	"aryn/internal/docset"
+	"aryn/internal/index"
+	"aryn/internal/ntsb"
+)
+
+// manufacturerRegistry is the external "database": fleet sizes by maker,
+// the denominator an incident-rate analysis needs.
+var manufacturerRegistry = []*docmodel.Document{
+	dim("Cessna", "USA", 44000),
+	dim("Piper", "USA", 23000),
+	dim("Beech", "USA", 17000),
+	dim("Cirrus", "USA", 8000),
+	dim("Mooney", "USA", 6500),
+	dim("Robinson", "USA", 9800),
+	dim("Bell", "USA", 4100),
+}
+
+func dim(maker, country string, fleet int) *docmodel.Document {
+	d := docmodel.New("registry-" + maker)
+	d.SetProperty("maker", maker)
+	d.SetProperty("country", country)
+	d.SetProperty("fleet_size", fleet)
+	return d
+}
+
+func main() {
+	ctx := context.Background()
+
+	corpus, err := ntsb.GenerateCorpus(100, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.New(core.Config{Seed: 7, Parallelism: 8})
+	if _, err := sys.Ingest(ctx, blobs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep phase: derive the manufacturer from the aircraft field (the
+	// first token of make+model) with an ordinary map.
+	incidents := docset.QueryDatabase(sys.EC, sys.Store, index.Query{}).
+		Map("manufacturer", func(d *docmodel.Document) (*docmodel.Document, error) {
+			d.SetProperty("manufacturer", strings.SplitN(d.Property("aircraft"), " ", 2)[0])
+			return d, nil
+		})
+
+	// Integration phase: join against the registry, then compute
+	// incidents per 10k fleet aircraft per manufacturer.
+	registry := docset.FromDocuments(sys.EC, manufacturerRegistry)
+	rates, err := incidents.
+		Join(registry, "manufacturer", "maker", "mfr", docset.InnerJoin).
+		GroupByAggregate("manufacturer", docset.AggCount, "").
+		TakeAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fleet := map[string]float64{}
+	for _, r := range manufacturerRegistry {
+		f, _ := r.Properties.Float("fleet_size")
+		fleet[r.Property("maker")] = f
+	}
+	fmt.Println("incidents per 10,000 registered aircraft, by manufacturer:")
+	fmt.Printf("%-12s %10s %12s %14s\n", "maker", "incidents", "fleet", "per 10k")
+	for _, d := range rates {
+		maker := d.Property("manufacturer")
+		n, _ := d.Properties.Float("value")
+		fmt.Printf("%-12s %10.0f %12.0f %14.2f\n", maker, n, fleet[maker], 1e4*n/fleet[maker])
+	}
+
+	// Anti-join: incidents whose manufacturer is NOT in the registry —
+	// the data-quality check an integration pipeline runs.
+	unknown, err := incidents.
+		Join(registry, "manufacturer", "maker", "", docset.AntiJoin).
+		GroupByAggregate("manufacturer", docset.AggCount, "").
+		TakeAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmanufacturers missing from the registry:")
+	for _, d := range unknown {
+		n, _ := d.Properties.Int("value")
+		fmt.Printf("  %-24s %d incidents\n", d.Property("manufacturer"), n)
+	}
+}

@@ -1,0 +1,101 @@
+// Report generation / BI: the §2 use case of extracting a structured
+// summary dataset from a document collection — group incidents by state,
+// summarize each group's narratives with the LLM, cluster the fleet-wide
+// causes, and emit a compact brief. This is the "LLM-powered document
+// pipeline" pattern, built directly on Sycamore operators.
+//
+//	go run ./examples/report_generation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"aryn/internal/core"
+	"aryn/internal/docset"
+	"aryn/internal/index"
+	"aryn/internal/ntsb"
+)
+
+func main() {
+	ctx := context.Background()
+
+	corpus, err := ntsb.GenerateCorpus(60, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.New(core.Config{Seed: 7, Parallelism: 8})
+	if _, err := sys.Ingest(ctx, blobs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Section 1: structured rollup — incidents per damage level.
+	rollup, err := docset.QueryDatabase(sys.EC, sys.Store, index.Query{}).
+		GroupByAggregate("aircraftDamage", docset.AggCount, "").
+		TakeAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Damage rollup ==")
+	for _, d := range rollup {
+		n, _ := d.Properties.Int("value")
+		fmt.Printf("  %-12s %d\n", d.Property("aircraftDamage"), n)
+	}
+
+	// Section 2: per-state narrative briefs via llmReduceByKey — one LLM
+	// summary per group (Table 2b).
+	briefs, err := docset.QueryDatabase(sys.EC, sys.Store, index.Query{}).
+		LLMReduceByKey("us_state", "summarize the incidents in this state in one paragraph").
+		TakeAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(briefs, func(i, j int) bool {
+		a, _ := briefs[i].Properties.Int("group_size")
+		b, _ := briefs[j].Properties.Int("group_size")
+		return a > b
+	})
+	fmt.Println("\n== State briefs (top 3 states) ==")
+	for i, d := range briefs {
+		if i == 3 {
+			break
+		}
+		n, _ := d.Properties.Int("group_size")
+		text := d.Text
+		if len(text) > 160 {
+			text = text[:159] + "…"
+		}
+		fmt.Printf("  %s (%d incidents): %s\n", d.Property("us_state"), n, text)
+	}
+
+	// Section 3: thematic clustering of probable causes (llmCluster).
+	clustered, err := docset.QueryDatabase(sys.EC, sys.Store, index.Query{}).
+		LLMCluster(4, []string{"probable_cause"}, 17).
+		GroupByAggregate("cluster_label", docset.AggCount, "").
+		TakeAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Cause themes (k-means over cause statements) ==")
+	for _, d := range clustered {
+		n, _ := d.Properties.Int("value")
+		fmt.Printf("  %-40s %d incidents\n", d.Property("cluster_label"), n)
+	}
+
+	// Section 4: persist the brief's source dataset for downstream BI.
+	out := "/tmp/aryn_report_dataset.jsonl.gz"
+	docs, err := docset.QueryDatabase(sys.EC, sys.Store, index.Query{}).TakeAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := docset.WriteJSONL(out, docs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d structured records to %s\n", len(docs), out)
+}

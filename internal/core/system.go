@@ -1,0 +1,225 @@
+// Package core is the Aryn system facade: it wires DocParse, Sycamore,
+// the index store, Luna, and the RAG baseline into the end-to-end
+// platform of Figure 1, exposing Ingest (the ETL pipeline of Fig. 4) and
+// Ask (natural-language analytics).
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/docparse"
+	"aryn/internal/docset"
+	"aryn/internal/embed"
+	"aryn/internal/index"
+	"aryn/internal/llm"
+	"aryn/internal/luna"
+	"aryn/internal/rag"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Parallelism is the Sycamore worker count per stage.
+	Parallelism int
+	// HNSW switches the vector index to approximate search.
+	HNSW bool
+	// LLMOptions tune the simulated model (context window, leniency…).
+	LLMOptions []llm.SimOption
+	// RAGK is the baseline retrieval depth (default 100).
+	RAGK int
+}
+
+// System is a fully wired Aryn instance.
+type System struct {
+	Config   Config
+	Sim      *llm.Sim
+	LLM      *llm.Meter
+	Embedder embed.Embedder
+	Store    *index.Store
+	Parser   *docparse.Service
+	EC       *docset.Context
+	Schema   luna.Schema
+	Query    *luna.Service
+	Conv     *luna.Conversation
+	RAG      *rag.Pipeline
+}
+
+// New builds a system: the Sim LLM (with Luna's planner skill
+// registered), the hash embedder, an empty store, and DocParse.
+func New(cfg Config) *System {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	if cfg.RAGK <= 0 {
+		cfg.RAGK = 100
+	}
+	sim := llm.NewSim(cfg.Seed, cfg.LLMOptions...)
+	sim.Register(luna.PlannerSkill{})
+	meter := llm.NewMeter(sim)
+	embedder := embed.NewHash(cfg.Seed)
+	var store *index.Store
+	if cfg.HNSW {
+		store = index.NewStore(index.WithHNSW(cfg.Seed))
+	} else {
+		store = index.NewStore()
+	}
+	s := &System{
+		Config:   cfg,
+		Sim:      sim,
+		LLM:      meter,
+		Embedder: embedder,
+		Store:    store,
+		Parser:   docparse.New(docparse.WithSeed(cfg.Seed + 1)),
+		EC: docset.NewContext(
+			docset.WithLLM(meter),
+			docset.WithEmbedder(embedder),
+			docset.WithParallelism(cfg.Parallelism),
+		),
+	}
+	s.RAG = rag.New(store, meter, embedder)
+	s.RAG.K = cfg.RAGK
+	return s
+}
+
+// ExtractionSchema is the ETL-time llmExtract field set — the Table 3
+// schema the paper loads into OpenSearch.
+func ExtractionSchema() []llm.FieldSpec {
+	return []llm.FieldSpec{
+		{Name: "accidentNumber", Type: "string", Description: "NTSB accident number"},
+		{Name: "aircraft", Type: "string", Description: "aircraft make and model"},
+		{Name: "aircraftCategory", Type: "string", Description: "airplane, helicopter, or glider"},
+		{Name: "aircraftDamage", Type: "string", Description: "damage level"},
+		{Name: "registration", Type: "string", Description: "tail number"},
+		{Name: "injuries", Type: "string", Description: "injury summary"},
+		{Name: "dateAndTime", Type: "string", Description: "accident date and time"},
+		{Name: "us_state", Type: "string", Description: "US state abbreviation"},
+		{Name: "operator", Type: "string", Description: "aircraft operator"},
+		{Name: "flightConductedUnder", Type: "string", Description: "regulation part"},
+		{Name: "conditions", Type: "string", Description: "VMC or IMC"},
+		{Name: "conditionOfLight", Type: "string", Description: "day or night"},
+		{Name: "visibility", Type: "string", Description: "visibility in miles"},
+		{Name: "windSpeed", Type: "int", Description: "wind speed in knots"},
+		{Name: "temperature", Type: "float", Description: "temperature in C"},
+		{Name: "pilotCertificate", Type: "string", Description: "pilot certificate level"},
+		{Name: "flightTime", Type: "int", Description: "total pilot flight hours"},
+		{Name: "engines", Type: "int", Description: "number of engines"},
+		{Name: "probable_cause", Type: "string", Description: "probable cause statement"},
+		{Name: "weather_related", Type: "bool", Description: "whether weather contributed"},
+	}
+}
+
+// IngestStats summarizes one ingestion run.
+type IngestStats struct {
+	Documents int
+	Chunks    int
+	Elements  int
+	Wall      time.Duration
+	Usage     llm.Usage
+}
+
+// Ingest runs the Fig. 4 ETL pipeline over raw blobs: partition with
+// DocParse, llmExtract the Table 3 schema, derive calendar/injury fields,
+// index the parent documents, then explode, embed, and index the chunks.
+// It finishes by inferring the query schema and wiring Luna.
+func (s *System) Ingest(ctx context.Context, blobs map[string][]byte) (*IngestStats, error) {
+	start := time.Now()
+	before := s.LLM.Usage()
+
+	ds := docset.ReadBinary(s.EC, blobs).
+		Partition(s.Parser).
+		LLMExtract(ExtractionSchema()).
+		Map("deriveFields", deriveFields).
+		Write(s.Store).
+		Explode().
+		MergeChunks(120).
+		Embed().
+		Write(s.Store)
+
+	chunks, _, err := ds.Execute(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest: %w", err)
+	}
+	elements := 0
+	for _, c := range chunks {
+		elements += len(c.Elements)
+	}
+	s.Prepare()
+	usage := s.LLM.Usage()
+	usage.Calls -= before.Calls
+	usage.PromptTokens -= before.PromptTokens
+	usage.CompletionTokens -= before.CompletionTokens
+	return &IngestStats{
+		Documents: s.Store.NumDocs(),
+		Chunks:    s.Store.NumChunks(),
+		Elements:  elements,
+		Wall:      time.Since(start),
+		Usage:     usage,
+	}, nil
+}
+
+// Prepare (re)infers the schema from the store and wires the Luna query
+// service and conversation. Called automatically by Ingest; call it
+// manually after loading a persisted store.
+func (s *System) Prepare() {
+	s.Schema = luna.InferSchema(s.Store)
+	s.Query = &luna.Service{
+		Planner:  luna.NewPlanner(s.LLM, s.Schema),
+		Executor: &luna.Executor{EC: s.EC, Store: s.Store},
+	}
+	s.Conv = luna.NewConversation(s.Query)
+}
+
+// Ask answers a natural-language question through Luna (conversational:
+// follow-ups resolve against the previous query).
+func (s *System) Ask(ctx context.Context, question string) (*luna.Result, error) {
+	if s.Conv == nil {
+		return nil, fmt.Errorf("core: no data ingested yet")
+	}
+	return s.Conv.Ask(ctx, question)
+}
+
+// AskRAG answers through the RAG baseline for comparison.
+func (s *System) AskRAG(ctx context.Context, question string) (*rag.Response, error) {
+	return s.RAG.Answer(ctx, question)
+}
+
+// deriveFields computes post-extraction properties: calendar month/year
+// from dateAndTime and a numeric fatality count from the injury summary —
+// ordinary ETL enrichment (§5: "the line between ETL and analytics gets
+// blurred").
+func deriveFields(d *docmodel.Document) (*docmodel.Document, error) {
+	if dt := d.Property("dateAndTime"); dt != "" {
+		if t, err := time.Parse("January 2, 2006 15:04", dt); err == nil {
+			d.SetProperty("month", t.Month().String())
+			d.SetProperty("year", t.Year())
+		} else if t, err := time.Parse("January 2, 2006", strings.SplitN(dt, " at", 2)[0]); err == nil {
+			d.SetProperty("month", t.Month().String())
+			d.SetProperty("year", t.Year())
+		}
+	}
+	d.SetProperty("fatalities", fatalCount(d.Property("injuries")))
+	return d, nil
+}
+
+// fatalCount parses "2 Fatal, 1 Minor" style injury summaries.
+func fatalCount(injuries string) int {
+	low := strings.ToLower(injuries)
+	idx := strings.Index(low, "fatal")
+	if idx < 0 {
+		return 0
+	}
+	fields := strings.Fields(low[:idx])
+	if len(fields) == 0 {
+		return 1
+	}
+	if n, err := strconv.Atoi(fields[len(fields)-1]); err == nil {
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,225 @@
+package docmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Document is a node of the hierarchical document tree (§5.1). A document
+// carries content (text or raw binary), an ordered list of child documents,
+// and JSON-like properties. Leaf chunks are represented as Elements. A DocSet
+// is a collection of Documents; a single value can represent anything from a
+// freshly-read raw PDF (one node, binary content) to a fully parsed report
+// (sections as internal nodes, elements as leaves) to an exploded chunk.
+type Document struct {
+	// ID uniquely identifies the document within a DocSet.
+	ID string `json:"id"`
+	// ParentID links an exploded chunk back to its source document, the
+	// provenance hook lineage uses ("" for top-level documents).
+	ParentID string `json:"parent_id,omitempty"`
+	// Path is the source location the document was read from, if any.
+	Path string `json:"path,omitempty"`
+	// Title is a human-readable name for the document.
+	Title string `json:"title,omitempty"`
+	// Binary is raw, unparsed content (e.g. a rawdoc blob before
+	// partitioning). Parsed documents usually leave it nil.
+	Binary []byte `json:"-"`
+	// Text is direct textual content for chunk-level documents.
+	Text string `json:"text,omitempty"`
+	// Elements are the leaf chunks of the document in reading order.
+	Elements []*Element `json:"elements,omitempty"`
+	// Children are nested sub-documents (e.g. sections of a long report).
+	Children []*Document `json:"children,omitempty"`
+	// Properties is the extracted/enriched metadata for the document.
+	Properties Properties `json:"properties,omitempty"`
+	// Embedding is the vector for chunk-level documents after embed().
+	Embedding []float32 `json:"-"`
+}
+
+// New returns an empty document with the given ID.
+func New(id string) *Document { return &Document{ID: id} }
+
+// Clone returns a deep copy of the document tree. Transforms operate on
+// clones so that upstream operators observe immutable inputs.
+func (d *Document) Clone() *Document {
+	if d == nil {
+		return nil
+	}
+	cp := *d
+	if d.Binary != nil {
+		cp.Binary = make([]byte, len(d.Binary))
+		copy(cp.Binary, d.Binary)
+	}
+	if d.Embedding != nil {
+		cp.Embedding = make([]float32, len(d.Embedding))
+		copy(cp.Embedding, d.Embedding)
+	}
+	cp.Properties = d.Properties.Clone()
+	if d.Elements != nil {
+		cp.Elements = make([]*Element, len(d.Elements))
+		for i, e := range d.Elements {
+			cp.Elements[i] = e.Clone()
+		}
+	}
+	if d.Children != nil {
+		cp.Children = make([]*Document, len(d.Children))
+		for i, c := range d.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return &cp
+}
+
+// Walk visits d and every descendant document in depth-first pre-order,
+// stopping early if fn returns false.
+func (d *Document) Walk(fn func(*Document) bool) {
+	if d == nil {
+		return
+	}
+	if !fn(d) {
+		return
+	}
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}
+
+// AllElements returns the elements of d and all descendants in reading
+// order.
+func (d *Document) AllElements() []*Element {
+	var out []*Element
+	d.Walk(func(n *Document) bool {
+		out = append(out, n.Elements...)
+		return true
+	})
+	return out
+}
+
+// ElementsOfType returns all elements (including descendants') with the
+// given layout class.
+func (d *Document) ElementsOfType(t ElementType) []*Element {
+	var out []*Element
+	for _, e := range d.AllElements() {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TextContent concatenates the document's own text plus every element's
+// text (tables render as markdown, pictures contribute their summary) in
+// reading order. This is the "text-representation" field the Luna planner
+// sees (§6.1).
+func (d *Document) TextContent() string {
+	var sb strings.Builder
+	d.Walk(func(n *Document) bool {
+		if n.Text != "" {
+			sb.WriteString(n.Text)
+			sb.WriteString("\n")
+		}
+		for _, e := range n.Elements {
+			switch {
+			case e.Type == Table && e.Table != nil:
+				sb.WriteString(e.Table.Markdown())
+			case e.Type == Picture && e.Image != nil && e.Image.Summary != "":
+				sb.WriteString("[image: " + e.Image.Summary + "]\n")
+			case e.Text != "":
+				sb.WriteString(e.Text)
+				sb.WriteString("\n")
+			}
+		}
+		return true
+	})
+	return sb.String()
+}
+
+// PageCount returns the highest page number any element reports.
+func (d *Document) PageCount() int {
+	maxPage := 0
+	for _, e := range d.AllElements() {
+		if e.Page > maxPage {
+			maxPage = e.Page
+		}
+	}
+	return maxPage
+}
+
+// AddElement appends an element to the document's leaf list.
+func (d *Document) AddElement(e *Element) { d.Elements = append(d.Elements, e) }
+
+// AddChild appends a child sub-document.
+func (d *Document) AddChild(c *Document) { d.Children = append(d.Children, c) }
+
+// Property returns the document property for key as a string ("" if
+// absent).
+func (d *Document) Property(key string) string { return d.Properties.String(key) }
+
+// SetProperty assigns a document property, allocating the map if needed.
+func (d *Document) SetProperty(key string, value any) {
+	d.Properties = d.Properties.Set(key, value)
+}
+
+// MarshalJSON renders the document, eliding binary payloads but recording
+// their size for debugging.
+func (d *Document) MarshalJSON() ([]byte, error) {
+	type alias Document // avoid recursion
+	a := struct {
+		*alias
+		BinaryBytes int  `json:"binary_bytes,omitempty"`
+		HasVector   bool `json:"has_embedding,omitempty"`
+	}{alias: (*alias)(d), BinaryBytes: len(d.Binary), HasVector: d.Embedding != nil}
+	return json.Marshal(a)
+}
+
+// Summary returns a short single-line description used in traces and the
+// CLI drill-down view.
+func (d *Document) Summary() string {
+	title := d.Title
+	if title == "" {
+		title = d.ID
+	}
+	nElem := len(d.AllElements())
+	return fmt.Sprintf("%s (elements=%d, props=%d)", title, nElem, len(d.Properties))
+}
+
+// Markdown renders the parsed document as Markdown: titles become headers,
+// tables render as pipe tables, pictures as annotations. This is the
+// "higher-level format" DocParse postprocessing emits (§4).
+func (d *Document) Markdown() string {
+	var sb strings.Builder
+	if d.Title != "" {
+		sb.WriteString("# " + d.Title + "\n\n")
+	}
+	d.Walk(func(n *Document) bool {
+		for _, e := range n.Elements {
+			switch e.Type {
+			case Title:
+				sb.WriteString("# " + e.Text + "\n\n")
+			case SectionHeader:
+				sb.WriteString("## " + e.Text + "\n\n")
+			case Table:
+				if e.Table != nil {
+					sb.WriteString(e.Table.Markdown() + "\n")
+				} else {
+					sb.WriteString(e.Text + "\n\n")
+				}
+			case Picture:
+				if e.Image != nil && e.Image.Summary != "" {
+					sb.WriteString("![" + e.Image.Summary + "]()\n\n")
+				} else {
+					sb.WriteString("![figure]()\n\n")
+				}
+			case ListItem:
+				sb.WriteString("- " + e.Text + "\n")
+			case PageHeader, PageFooter:
+				// page furniture is dropped from the reading view
+			default:
+				sb.WriteString(e.Text + "\n\n")
+			}
+		}
+		return true
+	})
+	return sb.String()
+}

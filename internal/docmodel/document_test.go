@@ -1,0 +1,142 @@
+package docmodel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleDoc() *Document {
+	d := New("doc-1")
+	d.Title = "Aviation Incident Report"
+	d.AddElement(&Element{Type: Title, Text: "Aviation Incident Report", Page: 1})
+	d.AddElement(&Element{Type: Text, Text: "The pilot reported a loss of engine power.", Page: 1})
+	sec := New("doc-1-s1")
+	sec.AddElement(&Element{Type: SectionHeader, Text: "Probable Cause", Page: 2})
+	sec.AddElement(&Element{Type: Text, Text: "Fuel contamination.", Page: 2})
+	sec.AddElement(&Element{
+		Type: Table, Page: 3,
+		Table: &TableData{NumRows: 1, NumCols: 2, Cells: []TableCell{
+			{Row: 0, Col: 0, Text: "Registration"}, {Row: 0, Col: 1, Text: "N220SW"},
+		}},
+	})
+	sec.AddElement(&Element{Type: Picture, Page: 3, Image: &ImageData{Format: "png", Summary: "wreckage photo"}})
+	d.AddChild(sec)
+	d.SetProperty("us_state", "AK")
+	return d
+}
+
+func TestWalkOrder(t *testing.T) {
+	d := sampleDoc()
+	var ids []string
+	d.Walk(func(n *Document) bool {
+		ids = append(ids, n.ID)
+		return true
+	})
+	if len(ids) != 2 || ids[0] != "doc-1" || ids[1] != "doc-1-s1" {
+		t.Errorf("Walk order = %v", ids)
+	}
+	// Early stop.
+	count := 0
+	d.Walk(func(n *Document) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Walk early-stop visited %d nodes", count)
+	}
+}
+
+func TestAllElementsAndTypes(t *testing.T) {
+	d := sampleDoc()
+	if got := len(d.AllElements()); got != 6 {
+		t.Fatalf("AllElements = %d, want 6", got)
+	}
+	if got := len(d.ElementsOfType(Table)); got != 1 {
+		t.Errorf("tables = %d, want 1", got)
+	}
+	if got := len(d.ElementsOfType(Text)); got != 2 {
+		t.Errorf("texts = %d, want 2", got)
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	txt := sampleDoc().TextContent()
+	for _, want := range []string{"loss of engine power", "Probable Cause", "N220SW", "wreckage photo"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("TextContent missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestPageCount(t *testing.T) {
+	if got := sampleDoc().PageCount(); got != 3 {
+		t.Errorf("PageCount = %d, want 3", got)
+	}
+}
+
+func TestDocumentCloneIsDeep(t *testing.T) {
+	d := sampleDoc()
+	d.Binary = []byte{1, 2, 3}
+	d.Embedding = []float32{0.5}
+	c := d.Clone()
+	c.Binary[0] = 9
+	c.Embedding[0] = 9
+	c.Properties["us_state"] = "CA"
+	c.Children[0].Elements[0].Text = "changed"
+	if d.Binary[0] != 1 || d.Embedding[0] != 0.5 {
+		t.Error("binary/embedding clone not deep")
+	}
+	if d.Property("us_state") != "AK" {
+		t.Error("properties clone not deep")
+	}
+	if d.Children[0].Elements[0].Text != "Probable Cause" {
+		t.Error("children clone not deep")
+	}
+}
+
+func TestMarshalJSONElidesBinary(t *testing.T) {
+	d := sampleDoc()
+	d.Binary = make([]byte, 42)
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"binary_bytes":42`) {
+		t.Errorf("binary size not recorded: %s", s)
+	}
+	if strings.Contains(s, `"Binary"`) {
+		t.Errorf("raw binary leaked into JSON")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	md := sampleDoc().Markdown()
+	for _, want := range []string{"# Aviation Incident Report", "## Probable Cause", "| Registration | N220SW |", "![wreckage photo]()"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownDropsPageFurniture(t *testing.T) {
+	d := New("d")
+	d.AddElement(&Element{Type: PageHeader, Text: "SECRET HEADER"})
+	d.AddElement(&Element{Type: Text, Text: "body"})
+	md := d.Markdown()
+	if strings.Contains(md, "SECRET HEADER") {
+		t.Error("page header should be dropped from Markdown")
+	}
+	if !strings.Contains(md, "body") {
+		t.Error("body text missing")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sampleDoc().Summary()
+	if !strings.Contains(s, "Aviation Incident Report") || !strings.Contains(s, "elements=6") {
+		t.Errorf("Summary = %q", s)
+	}
+	anon := New("x1")
+	if !strings.Contains(anon.Summary(), "x1") {
+		t.Errorf("untitled Summary should fall back to ID: %q", anon.Summary())
+	}
+}

@@ -1,0 +1,160 @@
+package docmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementTypeString(t *testing.T) {
+	cases := map[ElementType]string{
+		Caption:       "Caption",
+		ListItem:      "List-item",
+		PageFooter:    "Page-footer",
+		SectionHeader: "Section-header",
+		Title:         "Title",
+	}
+	for et, want := range cases {
+		if got := et.String(); got != want {
+			t.Errorf("ElementType(%d).String() = %q, want %q", et, got, want)
+		}
+	}
+	if got := ElementType(99).String(); got != "ElementType(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestParseElementType(t *testing.T) {
+	for _, et := range AllElementTypes() {
+		got, err := ParseElementType(et.String())
+		if err != nil {
+			t.Fatalf("ParseElementType(%q): %v", et.String(), err)
+		}
+		if got != et {
+			t.Errorf("ParseElementType(%q) = %v, want %v", et.String(), got, et)
+		}
+	}
+	// Case and separator insensitivity.
+	if got, err := ParseElementType("section_header"); err != nil || got != SectionHeader {
+		t.Errorf("ParseElementType(section_header) = %v, %v", got, err)
+	}
+	if got, err := ParseElementType("LIST-ITEM"); err != nil || got != ListItem {
+		t.Errorf("ParseElementType(LIST-ITEM) = %v, %v", got, err)
+	}
+	if _, err := ParseElementType("bogus"); err == nil {
+		t.Error("ParseElementType(bogus) should fail")
+	}
+}
+
+func TestAllElementTypesCount(t *testing.T) {
+	if got := len(AllElementTypes()); got != 11 {
+		t.Fatalf("DocLayNet has 11 classes, got %d", got)
+	}
+}
+
+func TestBBoxGeometry(t *testing.T) {
+	a := BBox{0, 0, 10, 10}
+	b := BBox{5, 5, 15, 15}
+	if got := a.Area(); got != 100 {
+		t.Errorf("Area = %v, want 100", got)
+	}
+	inter := a.Intersect(b)
+	if inter.Area() != 25 {
+		t.Errorf("Intersect area = %v, want 25", inter.Area())
+	}
+	u := a.Union(b)
+	if u != (BBox{0, 0, 15, 15}) {
+		t.Errorf("Union = %+v", u)
+	}
+	iou := a.IoU(b)
+	want := 25.0 / 175.0
+	if math.Abs(iou-want) > 1e-12 {
+		t.Errorf("IoU = %v, want %v", iou, want)
+	}
+	// Disjoint boxes.
+	c := BBox{100, 100, 110, 110}
+	if a.IoU(c) != 0 {
+		t.Errorf("disjoint IoU should be 0")
+	}
+	if !a.Contains(5, 5) || a.Contains(10, 10) {
+		t.Error("Contains semantics wrong (half-open box expected)")
+	}
+}
+
+func TestBBoxIoUProperties(t *testing.T) {
+	// IoU is symmetric and bounded in [0,1]; IoU(x,x)=1 for non-degenerate x.
+	f := func(x0, y0, w1, h1, dx, dy, w2, h2 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 100) }
+		a := BBox{norm(x0), norm(y0), norm(x0) + norm(w1) + 1, norm(y0) + norm(h1) + 1}
+		b := BBox{norm(dx), norm(dy), norm(dx) + norm(w2) + 1, norm(dy) + norm(h2) + 1}
+		iou1, iou2 := a.IoU(b), b.IoU(a)
+		if math.Abs(iou1-iou2) > 1e-9 {
+			return false
+		}
+		if iou1 < 0 || iou1 > 1+1e-9 {
+			return false
+		}
+		return math.Abs(a.IoU(a)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableDataAccessors(t *testing.T) {
+	td := &TableData{
+		NumRows: 2, NumCols: 2,
+		Cells: []TableCell{
+			{Row: 0, Col: 0, Text: "Aircraft", Header: true},
+			{Row: 0, Col: 1, Text: "Cessna 172"},
+			{Row: 1, Col: 0, Text: "Registration", Header: true},
+			{Row: 1, Col: 1, Text: "N12345"},
+		},
+	}
+	if c := td.Cell(1, 1); c == nil || c.Text != "N12345" {
+		t.Fatalf("Cell(1,1) = %+v", c)
+	}
+	if c := td.Cell(5, 5); c != nil {
+		t.Fatal("Cell out of range should be nil")
+	}
+	row := td.Row(0)
+	if len(row) != 2 || row[0] != "Aircraft" {
+		t.Errorf("Row(0) = %v", row)
+	}
+	m := td.AsMap()
+	if m["Aircraft"] != "Cessna 172" || m["Registration"] != "N12345" {
+		t.Errorf("AsMap = %v", m)
+	}
+	md := td.Markdown()
+	if !strings.Contains(md, "| Aircraft | Cessna 172 |") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("Markdown:\n%s", md)
+	}
+}
+
+func TestTableMarkdownEscapesPipes(t *testing.T) {
+	td := &TableData{NumRows: 1, NumCols: 1, Cells: []TableCell{{Row: 0, Col: 0, Text: "a|b"}}}
+	if !strings.Contains(td.Markdown(), `a\|b`) {
+		t.Errorf("pipe not escaped: %s", td.Markdown())
+	}
+}
+
+func TestElementClone(t *testing.T) {
+	e := &Element{
+		Type: Table, Text: "tbl", Page: 2,
+		Properties: Properties{"k": "v"},
+		Table:      &TableData{NumRows: 1, NumCols: 1, Cells: []TableCell{{Text: "x"}}},
+		Image:      &ImageData{Format: "png", Width: 10, Height: 10},
+	}
+	c := e.Clone()
+	c.Properties["k"] = "changed"
+	c.Table.Cells[0].Text = "changed"
+	c.Image.Format = "jpg"
+	if e.Properties.String("k") != "v" || e.Table.Cells[0].Text != "x" || e.Image.Format != "png" {
+		t.Error("Clone is not deep")
+	}
+	var nilElem *Element
+	if nilElem.Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}

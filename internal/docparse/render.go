@@ -1,0 +1,91 @@
+package docparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/rawdoc"
+	"aryn/internal/vision"
+)
+
+// RenderDetections draws a page's labeled regions as ASCII art — the
+// textual analogue of Figure 2's visual DocParse output (labeled bounding
+// boxes over an NTSB report page, including table cells).
+func RenderDetections(page rawdoc.Page, dets []vision.Detection, cols, rows int) string {
+	if cols < 20 {
+		cols = 80
+	}
+	if rows < 10 {
+		rows = 48
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	sx := float64(cols-1) / page.Width
+	sy := float64(rows-1) / page.Height
+
+	// Draw lower-confidence boxes first so confident labels stay on top.
+	ordered := append([]vision.Detection(nil), dets...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Confidence < ordered[j].Confidence })
+	for _, d := range ordered {
+		x0, y0 := int(d.Box.X0*sx), int(d.Box.Y0*sy)
+		x1, y1 := int(d.Box.X1*sx), int(d.Box.Y1*sy)
+		x0, y0 = clampInt(x0, 0, cols-1), clampInt(y0, 0, rows-1)
+		x1, y1 = clampInt(x1, x0, cols-1), clampInt(y1, y0, rows-1)
+		for x := x0; x <= x1; x++ {
+			grid[y0][x], grid[y1][x] = '-', '-'
+		}
+		for y := y0; y <= y1; y++ {
+			grid[y][x0], grid[y][x1] = '|', '|'
+		}
+		grid[y0][x0], grid[y0][x1], grid[y1][x0], grid[y1][x1] = '+', '+', '+', '+'
+		label := fmt.Sprintf("%s %.2f", d.Type, d.Confidence)
+		for i, ch := range label {
+			if x0+1+i >= x1 {
+				break
+			}
+			grid[y0][x0+1+i] = ch
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "page %d (%d regions)\n", page.Number, len(dets))
+	for _, row := range grid {
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DescribeElements renders the parsed element list, one line per chunk —
+// the JSON-adjacent inspection view of a parse.
+func DescribeElements(doc *docmodel.Document) string {
+	var sb strings.Builder
+	for i, e := range doc.AllElements() {
+		text := e.Text
+		if e.Type == docmodel.Picture && e.Image != nil {
+			text = "[" + e.Image.Summary + "]"
+		}
+		text = strings.ReplaceAll(text, "\n", " ")
+		if len(text) > 70 {
+			text = text[:69] + "…"
+		}
+		fmt.Fprintf(&sb, "%3d  p%-2d %-15s %s\n", i, e.Page, e.Type.String(), text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+package docparse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/rawdoc"
+)
+
+// Handler exposes DocParse as the REST service the paper describes (§4:
+// "DocParse exposes a simple REST API that takes a document in a common
+// format … and returns a collection of labeled chunks").
+//
+// Routes:
+//
+//	POST /v1/document/partition        body: rawdoc blob
+//	     ?format=json|markdown|elements   (default json)
+//	GET  /healthz                      liveness + counters
+type Handler struct {
+	svc *Service
+	mux *http.ServeMux
+
+	parsed atomic.Int64
+	failed atomic.Int64
+}
+
+// NewHandler wraps a parsing service in the HTTP API.
+func NewHandler(svc *Service) *Handler {
+	h := &Handler{svc: svc, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/document/partition", h.partition)
+	h.mux.HandleFunc("/healthz", h.health)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// partitionResponse is the JSON envelope for a parse.
+type partitionResponse struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title,omitempty"`
+	Pages    int                `json:"pages"`
+	Elements []partitionElement `json:"elements"`
+}
+
+// partitionElement is one labeled chunk.
+type partitionElement struct {
+	Type       string              `json:"type"`
+	Page       int                 `json:"page"`
+	BBox       docmodel.BBox       `json:"bbox"`
+	Confidence float64             `json:"confidence,omitempty"`
+	Text       string              `json:"text,omitempty"`
+	Table      *docmodel.TableData `json:"table,omitempty"`
+	Image      *docmodel.ImageData `json:"image,omitempty"`
+}
+
+func (h *Handler) partition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	const maxBody = 64 << 20 // generous cap for a multi-page document
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		h.failed.Add(1)
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	raw, err := rawdoc.Decode(blob)
+	if err != nil {
+		h.failed.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	doc, err := h.svc.ParseRaw(raw)
+	if err != nil {
+		h.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h.parsed.Add(1)
+
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		resp := partitionResponse{ID: doc.ID, Title: doc.Title, Pages: doc.PageCount()}
+		for _, e := range doc.AllElements() {
+			resp.Elements = append(resp.Elements, partitionElement{
+				Type: e.Type.String(), Page: e.Page, BBox: e.Box,
+				Confidence: e.Confidence, Text: e.Text, Table: e.Table, Image: e.Image,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case "markdown":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		io.WriteString(w, doc.Markdown())
+	case "elements":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, DescribeElements(doc))
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q", format))
+	}
+}
+
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"service": h.svc.Name(),
+		"parsed":  h.parsed.Load(),
+		"failed":  h.failed.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": strings.TrimSpace(msg)})
+}

@@ -1,0 +1,149 @@
+package docparse
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serverFixture(t *testing.T) (*httptest.Server, []byte) {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(New()))
+	t.Cleanup(srv.Close)
+	raw, _ := sampleRaw(t)
+	blob, err := raw.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, blob
+}
+
+func TestPartitionEndpointJSON(t *testing.T) {
+	srv, blob := serverFixture(t)
+	resp, err := http.Post(srv.URL+"/v1/document/partition", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out partitionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Pages < 2 || len(out.Elements) == 0 {
+		t.Fatalf("response = %+v", out)
+	}
+	hasTable := false
+	for _, e := range out.Elements {
+		if e.Type == "Table" && e.Table != nil && len(e.Table.Cells) > 0 {
+			hasTable = true
+		}
+	}
+	if !hasTable {
+		t.Error("JSON response should include table structure with cells")
+	}
+}
+
+func TestPartitionEndpointMarkdown(t *testing.T) {
+	srv, blob := serverFixture(t)
+	resp, err := http.Post(srv.URL+"/v1/document/partition?format=markdown", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "markdown") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(body.String(), "|") {
+		t.Error("markdown should include a rendered table")
+	}
+}
+
+func TestPartitionEndpointElementsFormat(t *testing.T) {
+	srv, blob := serverFixture(t)
+	resp, err := http.Post(srv.URL+"/v1/document/partition?format=elements", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	if !strings.Contains(body.String(), "Section-header") {
+		t.Errorf("elements listing missing classes:\n%s", body.String())
+	}
+}
+
+func TestPartitionEndpointErrors(t *testing.T) {
+	srv, blob := serverFixture(t)
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/v1/document/partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+
+	// Garbage body.
+	resp, err = http.Post(srv.URL+"/v1/document/partition", "application/octet-stream", strings.NewReader("not a rawdoc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("garbage status = %d", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Errorf("error payload = %v, %v", e, err)
+	}
+
+	// Unknown format.
+	resp, err = http.Post(srv.URL+"/v1/document/partition?format=yaml", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format status = %d", resp.StatusCode)
+	}
+}
+
+func TestHealthEndpointCounters(t *testing.T) {
+	srv, blob := serverFixture(t)
+	// One success, one failure.
+	r1, err := http.Post(srv.URL+"/v1/document/partition", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	r2, err := http.Post(srv.URL+"/v1/document/partition", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["parsed"].(float64) != 1 || h["failed"].(float64) != 1 {
+		t.Errorf("health = %v", h)
+	}
+}

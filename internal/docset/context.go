@@ -1,0 +1,73 @@
+// Package docset implements Sycamore's core abstraction (§5): DocSets —
+// reliable, lazily-evaluated collections of hierarchical documents — and
+// the structured and semantic operators of Table 2. Transform chains build
+// a logical plan; Execute runs it as a pipelined dataflow with bounded
+// parallelism, per-call retries, deterministic output ordering, and a full
+// per-operator lineage trace.
+package docset
+
+import (
+	"aryn/internal/embed"
+	"aryn/internal/llm"
+)
+
+// Context carries the shared services a DocSet plan executes against: the
+// LLM backing semantic operators, the embedding model, and execution knobs.
+// It is the Go analogue of Sycamore's `context` handle (Fig. 4).
+type Context struct {
+	// LLM backs the semantic operators (llmExtract, llmFilter, ...).
+	LLM llm.Client
+	// Embedder backs the embed transform.
+	Embedder embed.Embedder
+	// Parallelism is the worker count per pipeline stage (default 4).
+	Parallelism int
+	// Retries is how many times a transient LLM failure is retried per
+	// document (default 2).
+	Retries int
+	// SampleSize is how many document summaries each operator keeps in its
+	// lineage trace (default 3).
+	SampleSize int
+}
+
+// Option configures a Context.
+type Option func(*Context)
+
+// WithLLM sets the language model.
+func WithLLM(c llm.Client) Option { return func(ctx *Context) { ctx.LLM = c } }
+
+// WithEmbedder sets the embedding model.
+func WithEmbedder(e embed.Embedder) Option { return func(ctx *Context) { ctx.Embedder = e } }
+
+// WithParallelism sets per-stage worker count.
+func WithParallelism(n int) Option {
+	return func(ctx *Context) {
+		if n > 0 {
+			ctx.Parallelism = n
+		}
+	}
+}
+
+// WithRetries sets the per-document retry budget for transient failures.
+func WithRetries(n int) Option {
+	return func(ctx *Context) {
+		if n >= 0 {
+			ctx.Retries = n
+		}
+	}
+}
+
+// NewContext builds an execution context. Unset services default to a
+// seeded Sim LLM and hash embedder so examples work out of the box.
+func NewContext(opts ...Option) *Context {
+	ctx := &Context{Parallelism: 4, Retries: 2, SampleSize: 3}
+	for _, o := range opts {
+		o(ctx)
+	}
+	if ctx.LLM == nil {
+		ctx.LLM = llm.NewSim(0)
+	}
+	if ctx.Embedder == nil {
+		ctx.Embedder = embed.NewHash(0)
+	}
+	return ctx
+}

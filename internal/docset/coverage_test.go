@@ -1,0 +1,95 @@
+package docset
+
+import (
+	"context"
+	"testing"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/embed"
+	"aryn/internal/index"
+)
+
+func TestQueryVectorDatabaseSource(t *testing.T) {
+	ec := NewContext(WithEmbedder(embed.NewHash(1)))
+	store := index.NewStore()
+	em := embed.NewHash(1)
+	add := func(id, text string) {
+		d := docmodel.New(id)
+		if err := store.PutDocument(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.PutChunk(index.Chunk{ID: id + "-c", ParentID: id, Text: text, Vector: em.Embed(text)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("B1", "the airplane struck a flock of geese after takeoff")
+	add("W1", "gusting crosswinds forced a runway excursion during landing")
+	docs, err := QueryVectorDatabase(ec, store, "bird strike geese", nil, 1).TakeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].ID != "B1" {
+		t.Fatalf("semantic source = %v", ids(docs))
+	}
+}
+
+func TestFilterPropsTransform(t *testing.T) {
+	ec := NewContext()
+	docs, err := FromDocuments(ec, testDocs(10)).
+		FilterProps(index.Term("parity", "even")).
+		TakeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 5 {
+		t.Fatalf("FilterProps kept %d", len(docs))
+	}
+}
+
+func TestClusterTextFieldSelection(t *testing.T) {
+	d := docmodel.New("x")
+	d.Text = "full body text"
+	d.SetProperty("cause", "engine failure")
+	if got := clusterText(d, []string{"cause"}); got != "engine failure" {
+		t.Errorf("field text = %q", got)
+	}
+	if got := clusterText(d, []string{"missing"}); got == "" {
+		t.Error("missing fields should fall back to full text")
+	}
+	if got := clusterText(d, nil); got == "" {
+		t.Error("nil fields should use full text")
+	}
+}
+
+func TestPropLessMixedTypes(t *testing.T) {
+	mk := func(v any) *docmodel.Document {
+		d := docmodel.New("x")
+		if v != nil {
+			d.SetProperty("f", v)
+		}
+		return d
+	}
+	// Numeric before non-numeric.
+	if !propLess(mk(1), mk("abc"), "f") {
+		t.Error("numeric should sort before string")
+	}
+	// Present before missing.
+	if !propLess(mk("abc"), mk(nil), "f") {
+		t.Error("present should sort before missing")
+	}
+	// Case-insensitive string order.
+	if !propLess(mk("Alpha"), mk("beta"), "f") {
+		t.Error("string ordering should be case-insensitive")
+	}
+}
+
+func TestTruncName(t *testing.T) {
+	if got := truncName("short", 40); got != "short" {
+		t.Errorf("no-op truncation = %q", got)
+	}
+	long := "a-very-long-operator-name-that-will-not-fit-in-the-column"
+	got := truncName(long, 20)
+	if len(got) > 22 { // 19 bytes + multibyte ellipsis
+		t.Errorf("truncated length = %d (%q)", len(got), got)
+	}
+}

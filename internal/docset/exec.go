@@ -1,0 +1,286 @@
+package docset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/llm"
+)
+
+// envelope carries a document through the pipeline with a hierarchical
+// sequence number. Sequences make output ordering deterministic no matter
+// how workers interleave: results are re-sorted by lineage position, so a
+// run with parallelism 1 and parallelism 32 produce identical output.
+type envelope struct {
+	seq []int32
+	doc *docmodel.Document
+}
+
+func seqLess(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func childSeq(parent []int32, i int) []int32 {
+	out := make([]int32, len(parent)+1)
+	copy(out, parent)
+	out[len(parent)] = int32(i)
+	return out
+}
+
+// stageKind selects the execution strategy for a stage.
+type stageKind int
+
+const (
+	// mapKind stages process one document at a time (possibly emitting 0..N
+	// documents) and run with per-stage worker parallelism.
+	mapKind stageKind = iota
+	// barrierKind stages need the whole upstream collection at once
+	// (reduce, sort, limit) and run single-threaded.
+	barrierKind
+)
+
+// stageSpec is the plan-time description of one operator.
+type stageSpec struct {
+	name      string
+	kind      stageKind
+	mapFn     func(*Context, *docmodel.Document) ([]*docmodel.Document, error)
+	barrierFn func(*Context, []*docmodel.Document) ([]*docmodel.Document, error)
+}
+
+// sourceSpec produces the root documents of a plan.
+type sourceSpec struct {
+	name string
+	emit func(ctx context.Context, ec *Context, yield func(*docmodel.Document) error) error
+}
+
+// Execute runs the plan and returns the resulting documents (in
+// deterministic order) along with the lineage trace.
+func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, error) {
+	start := time.Now()
+	trace := &Trace{}
+	traces := make([]*NodeTrace, 0, len(ds.stages)+1)
+	srcTrace := newNodeTrace(ds.source.name, ds.ctx.SampleSize)
+	traces = append(traces, srcTrace)
+	for _, sp := range ds.stages {
+		traces = append(traces, newNodeTrace(sp.name, ds.ctx.SampleSize))
+	}
+	trace.Nodes = traces
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	chanCap := 2 * ds.ctx.Parallelism
+	var wg sync.WaitGroup
+	errs := make([]error, len(ds.stages)+1)
+
+	// Source goroutine.
+	srcOut := make(chan envelope, chanCap)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(srcOut)
+		i := 0
+		err := ds.source.emit(cctx, ds.ctx, func(d *docmodel.Document) error {
+			env := envelope{seq: []int32{int32(i)}, doc: d}
+			i++
+			atomic.AddInt64(&srcTrace.In, 1)
+			// Sample before sending: once a document crosses the channel its
+			// ownership transfers downstream.
+			srcTrace.addSample(d.Summary())
+			select {
+			case srcOut <- env:
+				atomic.AddInt64(&srcTrace.Out, 1)
+				return nil
+			case <-cctx.Done():
+				return cctx.Err()
+			}
+		})
+		if err != nil {
+			errs[0] = err
+			cancel()
+		}
+	}()
+
+	// Stage goroutines.
+	in := srcOut
+	for i, sp := range ds.stages {
+		out := make(chan envelope, chanCap)
+		nt := traces[i+1]
+		wg.Add(1)
+		go func(i int, sp stageSpec, in <-chan envelope, out chan<- envelope) {
+			defer wg.Done()
+			defer close(out)
+			var err error
+			switch sp.kind {
+			case mapKind:
+				err = runMapStage(cctx, ds.ctx, sp, nt, in, out)
+			case barrierKind:
+				err = runBarrierStage(cctx, ds.ctx, sp, nt, in, out)
+			default:
+				err = fmt.Errorf("docset: unknown stage kind %d", sp.kind)
+			}
+			if err != nil {
+				errs[i+1] = err
+				cancel()
+			}
+		}(i, sp, in, out)
+		in = out
+	}
+
+	// Collect.
+	var collected []envelope
+	for env := range in {
+		collected = append(collected, env)
+	}
+	wg.Wait()
+	trace.Wall = time.Since(start)
+
+	// Report the first real (non-cancellation) error.
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, context.Canceled) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, e := range errs {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, trace, fmt.Errorf("docset: execute: %w", firstErr)
+	}
+
+	sort.Slice(collected, func(i, j int) bool { return seqLess(collected[i].seq, collected[j].seq) })
+	docs := make([]*docmodel.Document, len(collected))
+	for i, env := range collected {
+		docs[i] = env.doc
+	}
+	return docs, trace, nil
+}
+
+// runMapStage fans the input across workers, applying the map function
+// with transient-failure retries.
+func runMapStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTrace, in <-chan envelope, out chan<- envelope) error {
+	workers := ec.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errOnce := sync.Once{}
+	var stageErr error
+	fail := func(err error) {
+		errOnce.Do(func() { stageErr = err })
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for env := range in {
+				if ctx.Err() != nil {
+					return
+				}
+				atomic.AddInt64(&nt.In, 1)
+				t0 := time.Now()
+				results, err := applyWithRetry(ctx, ec, sp.mapFn, env.doc, nt)
+				nt.addDuration(time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", sp.name, err))
+					return
+				}
+				for j, d := range results {
+					outEnv := envelope{seq: childSeq(env.seq, j), doc: d}
+					nt.addSample(d.Summary())
+					select {
+					case out <- outEnv:
+						atomic.AddInt64(&nt.Out, 1)
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if stageErr != nil {
+		return stageErr
+	}
+	return nil
+}
+
+// applyWithRetry retries transient LLM failures up to the context budget.
+func applyWithRetry(ctx context.Context, ec *Context, fn func(*Context, *docmodel.Document) ([]*docmodel.Document, error), doc *docmodel.Document, nt *NodeTrace) ([]*docmodel.Document, error) {
+	var lastErr error
+	for attempt := 0; attempt <= ec.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results, err := fn(ec, doc)
+		if err == nil {
+			return results, nil
+		}
+		lastErr = err
+		if !errors.Is(err, llm.ErrTransient) {
+			return nil, err
+		}
+		atomic.AddInt64(&nt.Retries, 1)
+	}
+	return nil, fmt.Errorf("retries exhausted: %w", lastErr)
+}
+
+// runBarrierStage gathers the whole input (in deterministic order), applies
+// the stage function once, and re-emits.
+func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTrace, in <-chan envelope, out chan<- envelope) error {
+	var collected []envelope
+	for env := range in {
+		atomic.AddInt64(&nt.In, 1)
+		collected = append(collected, env)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sort.Slice(collected, func(i, j int) bool { return seqLess(collected[i].seq, collected[j].seq) })
+	docs := make([]*docmodel.Document, len(collected))
+	for i, env := range collected {
+		docs[i] = env.doc
+	}
+	t0 := time.Now()
+	results, err := sp.barrierFn(ec, docs)
+	nt.addDuration(time.Since(t0))
+	if err != nil {
+		return fmt.Errorf("%s: %w", sp.name, err)
+	}
+	for i, d := range results {
+		nt.addSample(d.Summary())
+		select {
+		case out <- envelope{seq: []int32{int32(i)}, doc: d}:
+			atomic.AddInt64(&nt.Out, 1)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

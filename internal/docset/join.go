@@ -1,0 +1,135 @@
+package docset
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"aryn/internal/docmodel"
+)
+
+// This file implements joins across DocSets — listed as future work in the
+// paper (§9: "We need to extend Aryn to support joins and allow queries to
+// incorporate external sources like data warehouses"). The implementation
+// is a hash equi-join on document properties, which covers the paper's
+// motivating "data integration" pattern (§1: combining a sweep-and-harvest
+// phase with a database lookup).
+
+// JoinKind selects join semantics.
+type JoinKind string
+
+// Join kinds.
+const (
+	// InnerJoin keeps left documents with at least one right match.
+	InnerJoin JoinKind = "inner"
+	// LeftJoin keeps every left document, enriched when a match exists.
+	LeftJoin JoinKind = "left"
+	// SemiJoin keeps matching left documents without enrichment (an
+	// existence filter against the right side).
+	SemiJoin JoinKind = "semi"
+	// AntiJoin keeps left documents with no right match.
+	AntiJoin JoinKind = "anti"
+)
+
+// Join hash-joins this DocSet (the probe side) against the result of
+// building right: left documents whose leftKey property equals some right
+// document's rightKey property are combined according to kind. On inner
+// and left joins, the right document's properties are merged in under
+// "<prefix>." namespacing so provenance stays visible; a left document
+// matching multiple right documents is emitted once per match.
+//
+// The right side is fully executed and built into a hash table when the
+// join stage runs (broadcast-hash-join semantics); use the smaller
+// collection as the right side.
+func (ds *DocSet) Join(right *DocSet, leftKey, rightKey, prefix string, kind JoinKind) *DocSet {
+	if prefix == "" {
+		prefix = "right"
+	}
+	return ds.with(stageSpec{
+		name: fmt.Sprintf("join[%s, %s=%s]", kind, leftKey, rightKey),
+		kind: barrierKind,
+		barrierFn: func(ec *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
+			rightDocs, _, err := right.Execute(context.Background())
+			if err != nil {
+				return nil, fmt.Errorf("join: right side: %w", err)
+			}
+			table := map[string][]*docmodel.Document{}
+			for _, r := range rightDocs {
+				k := joinKey(r, rightKey)
+				if k == "" {
+					continue
+				}
+				table[k] = append(table[k], r)
+			}
+			var out []*docmodel.Document
+			for _, l := range docs {
+				matches := table[joinKey(l, leftKey)]
+				switch kind {
+				case InnerJoin:
+					for _, r := range matches {
+						out = append(out, merged(l, r, prefix))
+					}
+				case LeftJoin:
+					if len(matches) == 0 {
+						out = append(out, l)
+						continue
+					}
+					for _, r := range matches {
+						out = append(out, merged(l, r, prefix))
+					}
+				case SemiJoin:
+					if len(matches) > 0 {
+						out = append(out, l)
+					}
+				case AntiJoin:
+					if len(matches) == 0 {
+						out = append(out, l)
+					}
+				default:
+					return nil, fmt.Errorf("join: unknown kind %q", kind)
+				}
+			}
+			return out, nil
+		},
+	})
+}
+
+// joinKey normalizes the join attribute (case-insensitive string match).
+func joinKey(d *docmodel.Document, field string) string {
+	return strings.ToLower(strings.TrimSpace(d.Property(field)))
+}
+
+// merged clones the left document and merges the right document's
+// properties under the prefix namespace.
+func merged(l, r *docmodel.Document, prefix string) *docmodel.Document {
+	out := l.Clone()
+	for k, v := range r.Properties {
+		out.SetProperty(prefix+"."+k, v)
+	}
+	return out
+}
+
+// Lookup is the §1 "data integration" convenience: enrich each document
+// from an external key→properties table (a data-warehouse dimension
+// table), left-join semantics with missing keys passed through.
+func (ds *DocSet) Lookup(field, prefix string, table map[string]docmodel.Properties) *DocSet {
+	if prefix == "" {
+		prefix = "lookup"
+	}
+	norm := make(map[string]docmodel.Properties, len(table))
+	for k, v := range table {
+		norm[strings.ToLower(strings.TrimSpace(k))] = v
+	}
+	return ds.with(stageSpec{
+		name: fmt.Sprintf("lookup[%s]", field),
+		kind: mapKind,
+		mapFn: func(_ *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
+			if props, ok := norm[joinKey(d, field)]; ok {
+				for k, v := range props {
+					d.SetProperty(prefix+"."+k, v)
+				}
+			}
+			return []*docmodel.Document{d}, nil
+		},
+	})
+}

@@ -1,0 +1,115 @@
+package docset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"aryn/internal/docmodel"
+)
+
+// MemoryCache is the in-memory materialization target: named snapshots of
+// intermediate DocSet results, used for debugging and re-execution (§5.3).
+// Safe for concurrent use.
+type MemoryCache struct {
+	mu    sync.Mutex
+	items map[string][]*docmodel.Document
+}
+
+// NewMemoryCache returns an empty cache.
+func NewMemoryCache() *MemoryCache {
+	return &MemoryCache{items: make(map[string][]*docmodel.Document)}
+}
+
+// Get returns the snapshot stored under name.
+func (m *MemoryCache) Get(name string) ([]*docmodel.Document, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	docs, ok := m.items[name]
+	return docs, ok
+}
+
+func (m *MemoryCache) put(name string, docs []*docmodel.Document) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.items[name] = docs
+}
+
+// MaterializeMemory snapshots the documents flowing through this point of
+// the plan into the cache under name, then passes them through unchanged.
+func (ds *DocSet) MaterializeMemory(cache *MemoryCache, name string) *DocSet {
+	return ds.with(stageSpec{
+		name: "materialize[memory:" + name + "]",
+		kind: barrierKind,
+		barrierFn: func(_ *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
+			snap := make([]*docmodel.Document, len(docs))
+			for i, d := range docs {
+				snap[i] = d.Clone()
+			}
+			cache.put(name, snap)
+			return docs, nil
+		},
+	})
+}
+
+// MaterializeDisk writes the documents flowing through this point to a
+// gzipped JSON-lines file and passes them through unchanged.
+func (ds *DocSet) MaterializeDisk(path string) *DocSet {
+	return ds.with(stageSpec{
+		name: "materialize[disk:" + filepath.Base(path) + "]",
+		kind: barrierKind,
+		barrierFn: func(_ *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
+			if err := WriteJSONL(path, docs); err != nil {
+				return nil, err
+			}
+			return docs, nil
+		},
+	})
+}
+
+// WriteJSONL persists documents as gzipped JSON lines.
+func WriteJSONL(path string, docs []*docmodel.Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("materialize: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := json.NewEncoder(zw)
+	for _, d := range docs {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("materialize: encode %s: %w", d.ID, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("materialize: flush: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadJSONL loads documents previously written by WriteJSONL.
+func ReadJSONL(path string) ([]*docmodel.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("materialize: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("materialize: %w", err)
+	}
+	defer zr.Close()
+	dec := json.NewDecoder(zr)
+	var out []*docmodel.Document
+	for dec.More() {
+		var d docmodel.Document
+		if err := dec.Decode(&d); err != nil {
+			return nil, fmt.Errorf("materialize: decode: %w", err)
+		}
+		out = append(out, &d)
+	}
+	return out, nil
+}

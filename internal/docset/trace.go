@@ -1,0 +1,97 @@
+package docset
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the execution lineage of one plan run: per-operator input and
+// output counts, durations, retries, and sampled records. Luna surfaces
+// this to users for answer auditing (§6.2: "inspecting the data flowing
+// out of each of the operators").
+type Trace struct {
+	Nodes []*NodeTrace
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+}
+
+// NodeTrace is the lineage record for one operator.
+type NodeTrace struct {
+	// Name is the operator's display name (e.g. "llmFilter[engine problems]").
+	Name string
+	// In and Out count documents entering and leaving the operator.
+	In, Out int64
+	// Retries counts transient-failure retries performed.
+	Retries int64
+	// Duration is the operator's busy time across workers.
+	Duration time.Duration
+	// Samples holds up to SampleSize one-line summaries of output docs.
+	Samples []string
+
+	mu  sync.Mutex
+	cap int
+}
+
+func newNodeTrace(name string, sampleCap int) *NodeTrace {
+	return &NodeTrace{Name: name, cap: sampleCap}
+}
+
+func (n *NodeTrace) addSample(s string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.Samples) < n.cap {
+		n.Samples = append(n.Samples, s)
+	}
+}
+
+func (n *NodeTrace) addDuration(d time.Duration) {
+	n.mu.Lock()
+	n.Duration += d
+	n.mu.Unlock()
+}
+
+// String renders the trace as the operator table the CLI shows.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-40s %8s %8s %8s %10s\n", "operator", "in", "out", "retries", "busy")
+	for _, n := range t.Nodes {
+		fmt.Fprintf(&sb, "%-40s %8d %8d %8d %10s\n", truncName(n.Name, 40), n.In, n.Out, n.Retries, n.Duration.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&sb, "wall time: %s\n", t.Wall.Round(time.Microsecond))
+	return sb.String()
+}
+
+// Detailed renders the trace including sampled records (drill-down view).
+func (t *Trace) Detailed() string {
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	for _, n := range t.Nodes {
+		if len(n.Samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n%s samples:\n", n.Name)
+		for _, s := range n.Samples {
+			fmt.Fprintf(&sb, "  - %s\n", truncName(s, 120))
+		}
+	}
+	return sb.String()
+}
+
+// Node returns the trace entry with the given name (nil if absent).
+func (t *Trace) Node(name string) *NodeTrace {
+	for _, n := range t.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+func truncName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

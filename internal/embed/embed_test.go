@@ -1,0 +1,104 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := NewHash(1)
+	a := e.Embed("the engine lost power during cruise")
+	b := e.Embed("the engine lost power during cruise")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same text should embed identically")
+		}
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := NewHash(1)
+	v := e.Embed("substantial damage to the left wing")
+	var sum float64
+	for _, x := range v {
+		sum += float64(x) * float64(x)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Errorf("norm^2 = %v, want 1", sum)
+	}
+	if len(v) != Dim {
+		t.Errorf("dim = %d, want %d", len(v), Dim)
+	}
+}
+
+func TestEmbedZeroForEmpty(t *testing.T) {
+	e := NewHash(1)
+	v := e.Embed("!!! --- ???")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("token-free text should embed to zero vector")
+		}
+	}
+}
+
+func TestSimilarTextsCloserThanUnrelated(t *testing.T) {
+	e := NewHash(1)
+	q := e.Embed("engine power loss during flight")
+	related := e.Embed("the airplane had a total loss of engine power")
+	unrelated := e.Embed("quarterly municipal budget allocations for sidewalk repair")
+	if Cosine(q, related) <= Cosine(q, unrelated) {
+		t.Errorf("related %.3f should beat unrelated %.3f",
+			Cosine(q, related), Cosine(q, unrelated))
+	}
+	if Cosine(q, related) < 0.2 {
+		t.Errorf("related similarity too low: %.3f", Cosine(q, related))
+	}
+}
+
+func TestDifferentSeedsDifferentSpaces(t *testing.T) {
+	a := NewHash(1).Embed("engine failure")
+	b := NewHash(2).Embed("engine failure")
+	if Cosine(a, b) > 0.5 {
+		t.Errorf("different seeds should give unrelated spaces, cos=%.3f", Cosine(a, b))
+	}
+}
+
+func TestCosineEdgeCases(t *testing.T) {
+	if Cosine([]float32{1, 0}, []float32{1, 0, 0}) != 0 {
+		t.Error("mismatched dims should return 0")
+	}
+	if Cosine(nil, nil) != 0 {
+		t.Error("nil vectors should return 0")
+	}
+	if Cosine([]float32{0, 0}, []float32{1, 1}) != 0 {
+		t.Error("zero vector should return 0")
+	}
+	if math.Abs(Cosine([]float32{3, 4}, []float32{3, 4})-1) > 1e-9 {
+		t.Error("self-cosine should be 1")
+	}
+}
+
+func TestCosineSymmetricAndBounded(t *testing.T) {
+	e := NewHash(7)
+	f := func(s1, s2 string) bool {
+		a, b := e.Embed(s1), e.Embed(s2)
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		return math.Abs(c1-c2) < 1e-9 && c1 >= -1-1e-9 && c1 <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	v := []float32{3, 4}
+	Normalize(v)
+	if math.Abs(float64(v[0])-0.6) > 1e-6 || math.Abs(float64(v[1])-0.8) > 1e-6 {
+		t.Errorf("Normalize([3 4]) = %v", v)
+	}
+	Normalize(v)
+	if math.Abs(float64(v[0])-0.6) > 1e-6 {
+		t.Error("Normalize should be idempotent")
+	}
+}

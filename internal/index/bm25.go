@@ -1,0 +1,111 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"aryn/internal/llm"
+)
+
+// BM25 parameters (standard Robertson/Walker defaults, as in OpenSearch).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// bm25Index is an inverted index over chunk texts with BM25 ranking.
+type bm25Index struct {
+	postings map[string][]posting // term -> sorted doc postings
+	docLen   []int                // tokens per indexed chunk
+	totalLen int
+}
+
+type posting struct {
+	doc int // chunk ordinal
+	tf  int
+}
+
+func newBM25() *bm25Index {
+	return &bm25Index{postings: make(map[string][]posting)}
+}
+
+// add indexes the text of the chunk with ordinal id. Chunks must be added
+// in increasing id order (the store guarantees this).
+func (ix *bm25Index) add(id int, text string) {
+	toks := llm.Tokenize(text)
+	counts := map[string]int{}
+	for _, t := range toks {
+		counts[t]++
+	}
+	for t, tf := range counts {
+		ix.postings[t] = append(ix.postings[t], posting{doc: id, tf: tf})
+	}
+	for len(ix.docLen) <= id {
+		ix.docLen = append(ix.docLen, 0)
+	}
+	ix.docLen[id] = len(toks)
+	ix.totalLen += len(toks)
+}
+
+func (ix *bm25Index) avgLen() float64 {
+	if len(ix.docLen) == 0 {
+		return 0
+	}
+	return float64(ix.totalLen) / float64(len(ix.docLen))
+}
+
+// Scored is one ranked chunk hit: the chunk ordinal and its score.
+type Scored struct {
+	Doc   int
+	Score float64
+}
+
+// search returns the top-k chunks by BM25 score for the query text. k <= 0
+// means unlimited.
+func (ix *bm25Index) search(query string, k int) []Scored {
+	n := len(ix.docLen)
+	if n == 0 {
+		return nil
+	}
+	terms := llm.Tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	avg := ix.avgLen()
+	scores := map[int]float64{}
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		plist := ix.postings[t]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		for _, p := range plist {
+			tf := float64(p.tf)
+			dl := float64(ix.docLen[p.doc])
+			denom := tf + bm25K1*(1-bm25B+bm25B*dl/avg)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / denom
+		}
+	}
+	out := make([]Scored, 0, len(scores))
+	for d, s := range scores {
+		out = append(out, Scored{Doc: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc // deterministic ties
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// vocabSize reports the number of distinct indexed terms.
+func (ix *bm25Index) vocabSize() int { return len(ix.postings) }

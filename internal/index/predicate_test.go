@@ -1,0 +1,117 @@
+package index
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aryn/internal/docmodel"
+)
+
+func props() docmodel.Properties {
+	return docmodel.Properties{
+		"us_state": "KY",
+		"aircraft": "Piper PA-38-112",
+		"injuries": 3,
+		"year":     2024.0,
+		"fatal":    false,
+		"nilProp":  nil,
+	}
+}
+
+func TestTermPredicate(t *testing.T) {
+	p := props()
+	if !Term("us_state", "KY").Match(p) {
+		t.Error("exact term should match")
+	}
+	if !Term("us_state", "ky").Match(p) {
+		t.Error("term match should be case-insensitive")
+	}
+	if Term("us_state", "CA").Match(p) {
+		t.Error("wrong value should not match")
+	}
+	if !Term("injuries", 3).Match(p) {
+		t.Error("numeric term should match")
+	}
+	if !Term("injuries", "3.0").Match(p) {
+		t.Error("numeric coercion should match 3 == 3.0")
+	}
+	if Term("missing", "x").Match(p) {
+		t.Error("missing field should not match")
+	}
+	if Term("nilProp", "x").Match(p) {
+		t.Error("nil value should not match")
+	}
+}
+
+func TestContainsPredicate(t *testing.T) {
+	p := props()
+	if !Contains("aircraft", "piper").Match(p) {
+		t.Error("case-insensitive substring should match")
+	}
+	if Contains("aircraft", "cessna").Match(p) {
+		t.Error("absent substring should not match")
+	}
+}
+
+func TestRangePredicate(t *testing.T) {
+	p := props()
+	lo, hi := 2020.0, 2025.0
+	if !Range("year", &lo, &hi).Match(p) {
+		t.Error("in-range should match")
+	}
+	if !Range("year", &lo, nil).Match(p) {
+		t.Error("open upper bound should match")
+	}
+	hi2 := 2023.0
+	if Range("year", nil, &hi2).Match(p) {
+		t.Error("above-max should not match")
+	}
+	if Range("aircraft", &lo, &hi).Match(p) {
+		t.Error("non-numeric field should not match range")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	p := props()
+	pred := And(Term("us_state", "KY"), Not(Term("fatal", true)))
+	if !pred.Match(p) {
+		t.Error("AND/NOT combination should match")
+	}
+	if !Or(Term("us_state", "CA"), Contains("aircraft", "Piper")).Match(p) {
+		t.Error("OR should match on second branch")
+	}
+	if !And().Match(p) {
+		t.Error("empty AND is vacuously true")
+	}
+	if Or().Match(p) {
+		t.Error("empty OR is vacuously false")
+	}
+	if !Exists("us_state").Match(p) || Exists("nilProp").Match(p) || Exists("nope").Match(p) {
+		t.Error("Exists semantics wrong")
+	}
+}
+
+func TestNotIsInvolution(t *testing.T) {
+	f := func(field, value string) bool {
+		p := docmodel.Properties{field: value}
+		base := Term(field, value)
+		return Not(Not(base)).Match(p) == base.Match(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	s := And(Term("a", 1), Or(Contains("b", "x"), Not(Exists("c")))).String()
+	for _, want := range []string{"a == \"1\"", "AND", "OR", "NOT", "exists(c)", "b contains \"x\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("predicate string missing %q: %s", want, s)
+		}
+	}
+	lo := 1.0
+	if got := Range("y", &lo, nil).String(); !strings.Contains(got, "[1, +inf]") {
+		t.Errorf("range string = %q", got)
+	}
+}

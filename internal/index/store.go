@@ -1,0 +1,287 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aryn/internal/docmodel"
+)
+
+// Chunk is one indexed unit of text with provenance back to its parent
+// document. Indexing happens at chunk granularity; query results are
+// reassembled into documents (§6.1).
+type Chunk struct {
+	ID       string
+	ParentID string
+	Text     string
+	Vector   []float32
+	Page     int
+}
+
+// Store is the in-process document store: parent documents with their
+// properties, plus a chunk-level BM25 inverted index and vector index.
+// Safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	docs     map[string]*docmodel.Document
+	docOrder []string
+	chunks   []Chunk
+	bm25     *bm25Index
+	vec      VectorSearcher
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithHNSW switches the vector index to approximate HNSW search with the
+// given seed (default: exact brute-force).
+func WithHNSW(seed int64) StoreOption {
+	return func(s *Store) { s.vec = NewHNSW(seed) }
+}
+
+// NewStore returns an empty store.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{
+		docs: make(map[string]*docmodel.Document),
+		bm25: newBM25(),
+		vec:  NewExact(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// PutDocument upserts a parent document (replacing any prior version with
+// the same ID). Chunk postings for replaced documents are not rewritten;
+// re-ingest into a fresh store for full replacement semantics, as with an
+// OpenSearch reindex.
+func (s *Store) PutDocument(d *docmodel.Document) error {
+	if d == nil || d.ID == "" {
+		return fmt.Errorf("index: document must have an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.docs[d.ID]; !exists {
+		s.docOrder = append(s.docOrder, d.ID)
+	}
+	s.docs[d.ID] = d.Clone()
+	return nil
+}
+
+// PutChunk indexes one text chunk (keyword + vector).
+func (s *Store) PutChunk(c Chunk) error {
+	if c.ParentID == "" {
+		return fmt.Errorf("index: chunk %q must reference a parent document", c.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ord := len(s.chunks)
+	s.chunks = append(s.chunks, c)
+	s.bm25.add(ord, c.Text)
+	if c.Vector != nil {
+		s.vec.Add(ord, c.Vector)
+	}
+	return nil
+}
+
+// Document returns the stored parent document by ID (a defensive copy).
+func (s *Store) Document(id string) (*docmodel.Document, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// Documents returns all parent documents in insertion order.
+func (s *Store) Documents() []*docmodel.Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*docmodel.Document, 0, len(s.docOrder))
+	for _, id := range s.docOrder {
+		out = append(out, s.docs[id].Clone())
+	}
+	return out
+}
+
+// NumDocs reports the parent document count.
+func (s *Store) NumDocs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// NumChunks reports the indexed chunk count.
+func (s *Store) NumChunks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// VocabSize reports the BM25 vocabulary size.
+func (s *Store) VocabSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bm25.vocabSize()
+}
+
+// Query describes one retrieval: keyword search, vector search, a property
+// filter, or any combination. Zero-value fields are unused.
+type Query struct {
+	// Keyword ranks chunks by BM25 when non-empty.
+	Keyword string
+	// Vector ranks chunks by cosine similarity when non-nil.
+	Vector []float32
+	// Filter restricts results by parent-document properties.
+	Filter Predicate
+	// K limits the result count (0 = no limit).
+	K int
+}
+
+// DocHit is one reassembled document result.
+type DocHit struct {
+	Doc   *docmodel.Document
+	Score float64
+}
+
+// ChunkHit is one chunk-granularity result (used by the RAG baseline).
+type ChunkHit struct {
+	Chunk Chunk
+	Score float64
+}
+
+// SearchDocs runs the query and returns parent documents, reassembled from
+// their best-matching chunks, ordered by descending score (insertion order
+// for pure filter scans).
+func (s *Store) SearchDocs(q Query) []DocHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	filter := q.Filter
+	if filter == nil {
+		filter = MatchAll()
+	}
+
+	ranked := s.rankChunks(q)
+	if ranked == nil {
+		// Pure metadata scan.
+		var out []DocHit
+		for _, id := range s.docOrder {
+			d := s.docs[id]
+			if filter.Match(d.Properties) {
+				out = append(out, DocHit{Doc: d.Clone(), Score: 1})
+				if q.K > 0 && len(out) == q.K {
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	// Group chunk hits by parent, keeping the best score per parent.
+	best := map[string]float64{}
+	var order []string
+	for _, sc := range ranked {
+		c := s.chunks[sc.Doc]
+		if _, seen := best[c.ParentID]; !seen {
+			order = append(order, c.ParentID)
+			best[c.ParentID] = sc.Score
+		}
+	}
+	var out []DocHit
+	for _, pid := range order {
+		d, ok := s.docs[pid]
+		if !ok || !filter.Match(d.Properties) {
+			continue
+		}
+		out = append(out, DocHit{Doc: d.Clone(), Score: best[pid]})
+		if q.K > 0 && len(out) == q.K {
+			break
+		}
+	}
+	return out
+}
+
+// SearchChunks runs the query at chunk granularity (RAG retrieval path).
+func (s *Store) SearchChunks(q Query) []ChunkHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	filter := q.Filter
+	if filter == nil {
+		filter = MatchAll()
+	}
+	ranked := s.rankChunks(q)
+	if ranked == nil {
+		// No ranking signal: return chunks in index order.
+		ranked = make([]Scored, 0, len(s.chunks))
+		for i := range s.chunks {
+			ranked = append(ranked, Scored{Doc: i, Score: 1})
+		}
+	}
+	var out []ChunkHit
+	for _, sc := range ranked {
+		c := s.chunks[sc.Doc]
+		if parent, ok := s.docs[c.ParentID]; ok && !filter.Match(parent.Properties) {
+			continue
+		}
+		out = append(out, ChunkHit{Chunk: c, Score: sc.Score})
+		if q.K > 0 && len(out) == q.K {
+			break
+		}
+	}
+	return out
+}
+
+// rankChunks produces a ranked chunk list for the query's search signal,
+// or nil when the query has no keyword/vector component. Over-fetches
+// beyond K so parent-level filtering still fills the requested K.
+func (s *Store) rankChunks(q Query) []Scored {
+	fetch := 0
+	if q.K > 0 {
+		fetch = q.K * 8
+	}
+	switch {
+	case q.Keyword != "" && q.Vector != nil:
+		// Hybrid: reciprocal-rank fusion of both rankings.
+		kw := s.bm25.search(q.Keyword, fetch)
+		vs := s.vec.Search(q.Vector, fetch)
+		return fuseRRF(kw, vs, fetch)
+	case q.Keyword != "":
+		return s.bm25.search(q.Keyword, fetch)
+	case q.Vector != nil:
+		return s.vec.Search(q.Vector, fetch)
+	default:
+		return nil
+	}
+}
+
+// fuseRRF merges two rankings with reciprocal rank fusion (k=60), the
+// standard hybrid-search combiner.
+func fuseRRF(a, b []Scored, k int) []Scored {
+	const rrfK = 60.0
+	score := map[int]float64{}
+	add := func(list []Scored) {
+		for rank, sc := range list {
+			score[sc.Doc] += 1 / (rrfK + float64(rank+1))
+		}
+	}
+	add(a)
+	add(b)
+	out := make([]Scored, 0, len(score))
+	for d, s := range score {
+		out = append(out, Scored{Doc: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

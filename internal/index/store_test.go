@@ -1,0 +1,227 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/embed"
+)
+
+// buildTestStore indexes three documents with chunked text and vectors.
+func buildTestStore(t *testing.T, opts ...StoreOption) *Store {
+	t.Helper()
+	s := NewStore(opts...)
+	em := embed.NewHash(1)
+	docs := []struct {
+		id    string
+		state string
+		text  []string
+	}{
+		{"R1", "KY", []string{
+			"The airplane experienced a total loss of engine power during cruise.",
+			"The airplane sustained substantial damage to the left wing.",
+		}},
+		{"R2", "CA", []string{
+			"The pilot lost directional control during landing in gusty crosswinds.",
+			"A post-crash fire consumed the fuselage.",
+		}},
+		{"R3", "KY", []string{
+			"The airplane struck a flock of geese shortly after takeoff in July.",
+			"Bird remains were found in the engine inlet.",
+		}},
+	}
+	for _, d := range docs {
+		doc := docmodel.New(d.id)
+		doc.SetProperty("us_state", d.state)
+		if err := s.PutDocument(doc); err != nil {
+			t.Fatal(err)
+		}
+		for i, text := range d.text {
+			err := s.PutChunk(Chunk{
+				ID: fmt.Sprintf("%s-c%d", d.id, i), ParentID: d.id,
+				Text: text, Vector: em.Embed(text), Page: i + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestKeywordSearchRanksRelevantDocFirst(t *testing.T) {
+	s := buildTestStore(t)
+	hits := s.SearchDocs(Query{Keyword: "engine power loss", K: 3})
+	if len(hits) == 0 || hits[0].Doc.ID != "R1" {
+		t.Fatalf("expected R1 first, got %+v", hitIDs(hits))
+	}
+}
+
+func TestVectorSearchFindsSemanticMatch(t *testing.T) {
+	s := buildTestStore(t)
+	em := embed.NewHash(1)
+	q := em.Embed("geese bird strike after takeoff")
+	hits := s.SearchDocs(Query{Vector: q, K: 1})
+	if len(hits) != 1 || hits[0].Doc.ID != "R3" {
+		t.Fatalf("expected R3, got %v", hitIDs(hits))
+	}
+}
+
+func TestFilterOnlyScanPreservesOrder(t *testing.T) {
+	s := buildTestStore(t)
+	hits := s.SearchDocs(Query{Filter: Term("us_state", "KY")})
+	if len(hits) != 2 || hits[0].Doc.ID != "R1" || hits[1].Doc.ID != "R3" {
+		t.Fatalf("KY scan = %v", hitIDs(hits))
+	}
+}
+
+func TestKeywordPlusFilter(t *testing.T) {
+	s := buildTestStore(t)
+	// "engine" appears in R1 and R3; CA filter excludes both.
+	hits := s.SearchDocs(Query{Keyword: "engine", Filter: Term("us_state", "CA")})
+	if len(hits) != 0 {
+		t.Fatalf("CA+engine should be empty, got %v", hitIDs(hits))
+	}
+	hits = s.SearchDocs(Query{Keyword: "engine", Filter: Term("us_state", "KY")})
+	if len(hits) != 2 {
+		t.Fatalf("KY+engine should return R1,R3: %v", hitIDs(hits))
+	}
+}
+
+func TestHybridSearch(t *testing.T) {
+	s := buildTestStore(t)
+	em := embed.NewHash(1)
+	hits := s.SearchDocs(Query{
+		Keyword: "substantial damage wing",
+		Vector:  em.Embed("wing damage substantial"),
+		K:       2,
+	})
+	if len(hits) == 0 || hits[0].Doc.ID != "R1" {
+		t.Fatalf("hybrid should rank R1 first: %v", hitIDs(hits))
+	}
+}
+
+func TestSearchChunksForRAG(t *testing.T) {
+	s := buildTestStore(t)
+	em := embed.NewHash(1)
+	hits := s.SearchChunks(Query{Vector: em.Embed("bird strike geese"), K: 2})
+	if len(hits) != 2 {
+		t.Fatalf("want 2 chunks, got %d", len(hits))
+	}
+	if hits[0].Chunk.ParentID != "R3" {
+		t.Errorf("top chunk should come from R3, got %s", hits[0].Chunk.ParentID)
+	}
+}
+
+func TestSearchChunksNoSignalReturnsAll(t *testing.T) {
+	s := buildTestStore(t)
+	hits := s.SearchChunks(Query{})
+	if len(hits) != 6 {
+		t.Fatalf("want all 6 chunks, got %d", len(hits))
+	}
+}
+
+func TestKLimit(t *testing.T) {
+	s := buildTestStore(t)
+	hits := s.SearchDocs(Query{Keyword: "the airplane pilot engine", K: 1})
+	if len(hits) != 1 {
+		t.Fatalf("K=1 should cap results, got %d", len(hits))
+	}
+}
+
+func TestDocumentAccessorsAndCopySemantics(t *testing.T) {
+	s := buildTestStore(t)
+	d, ok := s.Document("R1")
+	if !ok {
+		t.Fatal("R1 missing")
+	}
+	d.SetProperty("us_state", "MUTATED")
+	d2, _ := s.Document("R1")
+	if d2.Property("us_state") != "KY" {
+		t.Error("Document must return a defensive copy")
+	}
+	if s.NumDocs() != 3 || s.NumChunks() != 6 {
+		t.Errorf("counts: docs=%d chunks=%d", s.NumDocs(), s.NumChunks())
+	}
+	if s.VocabSize() == 0 {
+		t.Error("vocabulary should be non-empty")
+	}
+	if _, ok := s.Document("nope"); ok {
+		t.Error("missing doc should report !ok")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.PutDocument(docmodel.New("")); err == nil {
+		t.Error("empty ID should be rejected")
+	}
+	if err := s.PutChunk(Chunk{ID: "c"}); err == nil {
+		t.Error("chunk without parent should be rejected")
+	}
+}
+
+func TestUpsertDocument(t *testing.T) {
+	s := NewStore()
+	d := docmodel.New("X")
+	d.SetProperty("v", 1)
+	_ = s.PutDocument(d)
+	d2 := docmodel.New("X")
+	d2.SetProperty("v", 2)
+	_ = s.PutDocument(d2)
+	if s.NumDocs() != 1 {
+		t.Fatalf("upsert should not duplicate, docs=%d", s.NumDocs())
+	}
+	got, _ := s.Document("X")
+	if v, _ := got.Properties.Int("v"); v != 2 {
+		t.Errorf("upsert should replace, v=%d", v)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := buildTestStore(t)
+	path := filepath.Join(t.TempDir(), "store.gob.gz")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != 3 || loaded.NumChunks() != 6 {
+		t.Fatalf("loaded counts: %d docs %d chunks", loaded.NumDocs(), loaded.NumChunks())
+	}
+	// Indexes are rebuilt: search must work identically.
+	hits := loaded.SearchDocs(Query{Keyword: "engine power loss", K: 1})
+	if len(hits) != 1 || hits[0].Doc.ID != "R1" {
+		t.Errorf("post-load search broken: %v", hitIDs(hits))
+	}
+	d, _ := loaded.Document("R1")
+	if d.Property("us_state") != "KY" {
+		t.Error("properties lost in round trip")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.gob")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+}
+
+func TestSaveToBadPath(t *testing.T) {
+	s := NewStore()
+	if err := s.Save(filepath.Join(string(os.PathSeparator), "no", "such", "dir", "f")); err == nil {
+		t.Error("saving to an invalid path should error")
+	}
+}
+
+func hitIDs(hits []DocHit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.Doc.ID
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"aryn/internal/embed"
+)
+
+// VectorSearcher is the kNN contract the store consumes. Exact gives
+// ground-truth ranking; HNSW trades a little recall for sub-linear search.
+type VectorSearcher interface {
+	// Add indexes vec under the chunk ordinal id.
+	Add(id int, vec []float32)
+	// Search returns the top-k ids by cosine similarity (descending).
+	Search(query []float32, k int) []Scored
+	// Len reports the number of indexed vectors.
+	Len() int
+}
+
+// Exact is brute-force kNN: always correct, O(n·d) per query.
+type Exact struct {
+	ids  []int
+	vecs [][]float32
+}
+
+// NewExact returns an empty brute-force index.
+func NewExact() *Exact { return &Exact{} }
+
+// Add indexes vec under id.
+func (e *Exact) Add(id int, vec []float32) {
+	e.ids = append(e.ids, id)
+	e.vecs = append(e.vecs, vec)
+}
+
+// Len reports the number of indexed vectors.
+func (e *Exact) Len() int { return len(e.ids) }
+
+// Search scans all vectors and returns the k most similar.
+func (e *Exact) Search(query []float32, k int) []Scored {
+	out := make([]Scored, 0, len(e.ids))
+	for i, v := range e.vecs {
+		out = append(out, Scored{Doc: e.ids[i], Score: embed.Cosine(query, v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// HNSW is a hierarchical navigable small-world graph index
+// (Malkov & Yashunin), the ANN structure OpenSearch's kNN plugin uses.
+type HNSW struct {
+	m              int // max links per node per layer (above layer 0)
+	mmax0          int // max links at layer 0
+	efConstruction int
+	efSearch       int
+	levelMult      float64
+	rng            *rand.Rand
+
+	vecs    [][]float32
+	ids     []int
+	links   [][][]int32 // node -> layer -> neighbor node indices
+	levels  []int
+	entry   int
+	maxL    int
+	started bool
+}
+
+// NewHNSW builds an empty HNSW index with standard parameters (M=16,
+// efConstruction=128, efSearch=64). The seed fixes level assignment so
+// builds are reproducible.
+func NewHNSW(seed int64) *HNSW {
+	m := 16
+	return &HNSW{
+		m:              m,
+		mmax0:          2 * m,
+		efConstruction: 128,
+		efSearch:       64,
+		levelMult:      1 / math.Log(float64(m)),
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetEFSearch tunes the search beam width (recall/latency trade-off).
+func (h *HNSW) SetEFSearch(ef int) {
+	if ef > 0 {
+		h.efSearch = ef
+	}
+}
+
+// Len reports the number of indexed vectors.
+func (h *HNSW) Len() int { return len(h.ids) }
+
+func (h *HNSW) dist(a, b []float32) float64 { return 1 - embed.Cosine(a, b) }
+
+// Add inserts vec under id.
+func (h *HNSW) Add(id int, vec []float32) {
+	node := len(h.vecs)
+	level := int(math.Floor(-math.Log(h.rng.Float64()+1e-12) * h.levelMult))
+	h.vecs = append(h.vecs, vec)
+	h.ids = append(h.ids, id)
+	h.levels = append(h.levels, level)
+	layers := make([][]int32, level+1)
+	h.links = append(h.links, layers)
+
+	if !h.started {
+		h.entry = node
+		h.maxL = level
+		h.started = true
+		return
+	}
+
+	cur := h.entry
+	// Greedy descent through layers above the insertion level.
+	for l := h.maxL; l > level; l-- {
+		cur = h.greedyClosest(vec, cur, l)
+	}
+	// Insert with beam search from min(level, maxL) down to 0.
+	top := level
+	if h.maxL < top {
+		top = h.maxL
+	}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayer(vec, cur, h.efConstruction, l)
+		maxLinks := h.m
+		if l == 0 {
+			maxLinks = h.mmax0
+		}
+		sel := cands
+		if len(sel) > h.m {
+			sel = sel[:h.m]
+		}
+		for _, c := range sel {
+			h.connect(node, c.Doc, l, maxLinks)
+			h.connect(c.Doc, node, l, maxLinks)
+		}
+		if len(cands) > 0 {
+			cur = cands[0].Doc
+		}
+	}
+	if level > h.maxL {
+		h.maxL = level
+		h.entry = node
+	}
+}
+
+// connect links from -> to at layer l, pruning to the maxLinks closest.
+func (h *HNSW) connect(from, to int, l, maxLinks int) {
+	if from == to {
+		return
+	}
+	nbrs := h.links[from][l]
+	for _, n := range nbrs {
+		if int(n) == to {
+			return
+		}
+	}
+	nbrs = append(nbrs, int32(to))
+	if len(nbrs) > maxLinks {
+		// Keep the maxLinks closest neighbors.
+		base := h.vecs[from]
+		sort.Slice(nbrs, func(i, j int) bool {
+			return h.dist(base, h.vecs[nbrs[i]]) < h.dist(base, h.vecs[nbrs[j]])
+		})
+		nbrs = nbrs[:maxLinks]
+	}
+	h.links[from][l] = nbrs
+}
+
+// greedyClosest walks layer l greedily toward vec from start.
+func (h *HNSW) greedyClosest(vec []float32, start, l int) int {
+	cur := start
+	curD := h.dist(vec, h.vecs[cur])
+	for {
+		improved := false
+		for _, n := range h.neighbors(cur, l) {
+			if d := h.dist(vec, h.vecs[n]); d < curD {
+				cur, curD = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func (h *HNSW) neighbors(node, l int) []int {
+	if l >= len(h.links[node]) {
+		return nil
+	}
+	out := make([]int, len(h.links[node][l]))
+	for i, n := range h.links[node][l] {
+		out[i] = int(n)
+	}
+	return out
+}
+
+// searchLayer runs beam search of width ef at layer l, returning candidates
+// ordered by increasing distance.
+func (h *HNSW) searchLayer(vec []float32, entry, ef, l int) []Scored {
+	visited := map[int]bool{entry: true}
+	entryD := h.dist(vec, h.vecs[entry])
+	cand := &distHeap{min: true}
+	res := &distHeap{min: false}
+	heap.Push(cand, distItem{node: entry, d: entryD})
+	heap.Push(res, distItem{node: entry, d: entryD})
+
+	for cand.Len() > 0 {
+		c := heap.Pop(cand).(distItem)
+		worst := res.peek().d
+		if c.d > worst && res.Len() >= ef {
+			break
+		}
+		for _, n := range h.neighbors(c.node, l) {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			d := h.dist(vec, h.vecs[n])
+			if res.Len() < ef || d < res.peek().d {
+				heap.Push(cand, distItem{node: n, d: d})
+				heap.Push(res, distItem{node: n, d: d})
+				if res.Len() > ef {
+					heap.Pop(res)
+				}
+			}
+		}
+	}
+	out := make([]Scored, res.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		it := heap.Pop(res).(distItem)
+		out[i] = Scored{Doc: it.node, Score: 1 - it.d}
+	}
+	return out
+}
+
+// Search returns the top-k ids by cosine similarity.
+func (h *HNSW) Search(query []float32, k int) []Scored {
+	if !h.started {
+		return nil
+	}
+	cur := h.entry
+	for l := h.maxL; l > 0; l-- {
+		cur = h.greedyClosest(query, cur, l)
+	}
+	ef := h.efSearch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(query, cur, ef, 0)
+	out := make([]Scored, 0, k)
+	for _, c := range cands {
+		out = append(out, Scored{Doc: h.ids[c.Doc], Score: c.Score})
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// distItem / distHeap implement both min- and max-heaps over distances.
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap struct {
+	items []distItem
+	min   bool
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool {
+	if h.min {
+		return h.items[i].d < h.items[j].d
+	}
+	return h.items[i].d > h.items[j].d
+}
+func (h *distHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x any)    { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() any {
+	it := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return it
+}
+func (h *distHeap) peek() distItem { return h.items[0] }
+
+var (
+	_ VectorSearcher = (*Exact)(nil)
+	_ VectorSearcher = (*HNSW)(nil)
+)

@@ -1,0 +1,157 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aryn/internal/embed"
+)
+
+func randomVectors(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		embed.Normalize(v)
+		out[i] = v
+	}
+	return out
+}
+
+func TestExactTopKOrdering(t *testing.T) {
+	e := NewExact()
+	vecs := randomVectors(50, 16, 1)
+	for i, v := range vecs {
+		e.Add(i, v)
+	}
+	q := vecs[7]
+	res := e.Search(q, 5)
+	if len(res) != 5 {
+		t.Fatalf("want 5 results, got %d", len(res))
+	}
+	if res[0].Doc != 7 {
+		t.Errorf("self should rank first, got %d", res[0].Doc)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Errorf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestHNSWRecallAgainstExact(t *testing.T) {
+	const n, dim, k = 600, 32, 10
+	vecs := randomVectors(n, dim, 2)
+	exact, hnsw := NewExact(), NewHNSW(3)
+	for i, v := range vecs {
+		exact.Add(i, v)
+		hnsw.Add(i, v)
+	}
+	queries := randomVectors(30, dim, 4)
+	var hit, total int
+	for _, q := range queries {
+		truth := map[int]bool{}
+		for _, r := range exact.Search(q, k) {
+			truth[r.Doc] = true
+		}
+		for _, r := range hnsw.Search(q, k) {
+			if truth[r.Doc] {
+				hit++
+			}
+		}
+		total += k
+	}
+	recall := float64(hit) / float64(total)
+	if recall < 0.85 {
+		t.Errorf("HNSW recall@%d = %.3f, want >= 0.85", k, recall)
+	}
+}
+
+func TestHNSWEmptyAndSingle(t *testing.T) {
+	h := NewHNSW(1)
+	if got := h.Search([]float32{1, 0}, 3); got != nil {
+		t.Errorf("empty index should return nil, got %v", got)
+	}
+	h.Add(42, []float32{1, 0})
+	res := h.Search([]float32{1, 0}, 3)
+	if len(res) != 1 || res[0].Doc != 42 {
+		t.Errorf("single-element search = %v", res)
+	}
+}
+
+func TestHNSWDeterministicBuild(t *testing.T) {
+	vecs := randomVectors(100, 8, 5)
+	q := randomVectors(1, 8, 6)[0]
+	run := func() []int {
+		h := NewHNSW(9)
+		for i, v := range vecs {
+			h.Add(i, v)
+		}
+		var ids []int
+		for _, r := range h.Search(q, 5) {
+			ids = append(ids, r.Doc)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed should give identical results: %v vs %v", a, b)
+	}
+}
+
+func TestHNSWSetEFSearch(t *testing.T) {
+	h := NewHNSW(1)
+	h.SetEFSearch(256)
+	if h.efSearch != 256 {
+		t.Error("SetEFSearch ignored")
+	}
+	h.SetEFSearch(0) // ignored
+	if h.efSearch != 256 {
+		t.Error("non-positive ef should be ignored")
+	}
+}
+
+func TestBM25BasicRelevance(t *testing.T) {
+	ix := newBM25()
+	ix.add(0, "the engine failed during cruise flight")
+	ix.add(1, "the pilot landed safely at the airport")
+	ix.add(2, "engine engine engine maintenance records")
+	res := ix.search("engine failed", 3)
+	if len(res) < 2 {
+		t.Fatalf("want >=2 hits, got %d", len(res))
+	}
+	if res[0].Doc != 0 {
+		// doc 0 matches both terms; doc 2 matches one term thrice.
+		t.Errorf("doc 0 should outrank repetition-only doc 2: %v", res)
+	}
+}
+
+func TestBM25EmptyCases(t *testing.T) {
+	ix := newBM25()
+	if got := ix.search("anything", 5); got != nil {
+		t.Error("empty index should return nil")
+	}
+	ix.add(0, "content here")
+	if got := ix.search("", 5); got != nil {
+		t.Error("empty query should return nil")
+	}
+	if got := ix.search("zzz qqq", 5); len(got) != 0 {
+		t.Error("no matching terms should return empty")
+	}
+}
+
+func TestBM25RareTermWeighsMore(t *testing.T) {
+	ix := newBM25()
+	for i := 0; i < 20; i++ {
+		ix.add(i, "airplane airplane common words")
+	}
+	ix.add(20, "airplane gyrocopter unusual")
+	res := ix.search("gyrocopter", 5)
+	if len(res) != 1 || res[0].Doc != 20 {
+		t.Fatalf("rare term lookup = %v", res)
+	}
+}

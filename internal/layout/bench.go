@@ -1,0 +1,67 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"aryn/internal/vision"
+)
+
+// ServiceResult is one Table 1 row.
+type ServiceResult struct {
+	Service string
+	Result  Result
+}
+
+// EvaluateSegmenter runs a segmenter over every page of the corpus and
+// scores it against the ground truth.
+func EvaluateSegmenter(c *Corpus, seg vision.Segmenter) Result {
+	gts := c.GroundTruths()
+	var preds []Pred
+	for _, d := range c.Docs {
+		for _, p := range d.Pages {
+			imageID := fmt.Sprintf("%s/%d", d.ID, p.Number)
+			for _, det := range seg.Segment(p, imageID) {
+				preds = append(preds, Pred{
+					ImageID:    imageID,
+					Box:        det.Box,
+					Type:       det.Type,
+					Confidence: det.Confidence,
+				})
+			}
+		}
+	}
+	return Evaluate(gts, preds)
+}
+
+// Table1Services returns the four evaluated services with their calibrated
+// profiles, in the paper's row order.
+func Table1Services(seed int64) []vision.Segmenter {
+	return []vision.Segmenter{
+		vision.NewModel("DocParse", seed, vision.ProfileDocParse()),
+		vision.NewModel("Amazon Textract", seed, vision.ProfileTextract()),
+		vision.NewModel("Unstructured (YoloX)", seed, vision.ProfileUnstructured()),
+		vision.NewModel("Azure AI Document Intelligence", seed, vision.ProfileAzure()),
+	}
+}
+
+// RunTable1 regenerates Table 1: segmentation performance of the four
+// services on the synthetic DocLayNet-style benchmark.
+func RunTable1(nDocs int, seed int64) []ServiceResult {
+	corpus := GenerateCorpus(nDocs, seed)
+	var out []ServiceResult
+	for _, seg := range Table1Services(seed + 1) {
+		out = append(out, ServiceResult{Service: seg.Name(), Result: EvaluateSegmenter(corpus, seg)})
+	}
+	return out
+}
+
+// FormatTable1 renders results in the paper's Table 1 layout.
+func FormatTable1(results []ServiceResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s %8s %8s\n", "Service", "mAP", "mAR")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-34s %8.3f %8.3f\n", r.Service, r.Result.MAP, r.Result.MAR)
+	}
+	return sb.String()
+}

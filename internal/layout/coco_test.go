@@ -1,0 +1,141 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"aryn/internal/docmodel"
+)
+
+func box(x0, y0, x1, y1 float64) docmodel.BBox { return docmodel.BBox{X0: x0, Y0: y0, X1: x1, Y1: y1} }
+
+func TestPerfectDetectionsScoreOne(t *testing.T) {
+	gts := []GroundTruth{
+		{ImageID: "p1", Box: box(0, 0, 100, 50), Type: docmodel.Text},
+		{ImageID: "p1", Box: box(0, 60, 100, 120), Type: docmodel.Table},
+		{ImageID: "p2", Box: box(0, 0, 80, 40), Type: docmodel.Text},
+	}
+	var preds []Pred
+	for _, g := range gts {
+		preds = append(preds, Pred{ImageID: g.ImageID, Box: g.Box, Type: g.Type, Confidence: 0.9})
+	}
+	r := Evaluate(gts, preds)
+	if math.Abs(r.MAP-1) > 1e-9 || math.Abs(r.MAR-1) > 1e-9 {
+		t.Errorf("perfect predictions: mAP=%.4f mAR=%.4f", r.MAP, r.MAR)
+	}
+	if len(r.PerClass) != 2 {
+		t.Errorf("classes evaluated = %d, want 2", len(r.PerClass))
+	}
+}
+
+func TestNoDetectionsScoreZero(t *testing.T) {
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 10, 10), Type: docmodel.Text}}
+	r := Evaluate(gts, nil)
+	if r.MAP != 0 || r.MAR != 0 {
+		t.Errorf("no preds: mAP=%v mAR=%v", r.MAP, r.MAR)
+	}
+}
+
+func TestWrongLabelScoresZero(t *testing.T) {
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 10, 10), Type: docmodel.Text}}
+	preds := []Pred{{ImageID: "p1", Box: box(0, 0, 10, 10), Type: docmodel.Table, Confidence: 0.9}}
+	r := Evaluate(gts, preds)
+	if r.MAP != 0 {
+		t.Errorf("label mismatch should score 0, got %v", r.MAP)
+	}
+}
+
+func TestWrongImageScoresZero(t *testing.T) {
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 10, 10), Type: docmodel.Text}}
+	preds := []Pred{{ImageID: "p2", Box: box(0, 0, 10, 10), Type: docmodel.Text, Confidence: 0.9}}
+	if r := Evaluate(gts, preds); r.MAP != 0 {
+		t.Errorf("cross-image match should score 0, got %v", r.MAP)
+	}
+}
+
+func TestLocalizationSensitivity(t *testing.T) {
+	// A prediction with IoU ~0.6 passes low thresholds but fails high ones:
+	// AP must land strictly between 0 and 1.
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text}}
+	preds := []Pred{{ImageID: "p1", Box: box(0, 20, 100, 100), Type: docmodel.Text, Confidence: 0.9}} // IoU 0.8
+	r := Evaluate(gts, preds)
+	if r.MAP <= 0.5 || r.MAP >= 1 {
+		t.Errorf("partial-overlap mAP = %.3f, want in (0.5, 1)", r.MAP)
+	}
+}
+
+func TestDuplicateDetectionSemantics(t *testing.T) {
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text}}
+
+	// COCO subtlety: a duplicate ranked BELOW the matching detection is an
+	// FP but cannot reduce AP — full recall was already reached at
+	// precision 1, and the interpolated envelope ignores later points.
+	lowDup := []Pred{
+		{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text, Confidence: 0.95},
+		{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text, Confidence: 0.90},
+	}
+	if r := Evaluate(gts, lowDup); math.Abs(r.MAP-1) > 1e-9 {
+		t.Errorf("low-ranked duplicate must not reduce AP: %.3f", r.MAP)
+	}
+
+	// But a higher-confidence near-miss duplicate (IoU ~0.8) consumes the
+	// high thresholds' match budget as an FP ranked first, dragging AP.
+	highDup := []Pred{
+		{ImageID: "p1", Box: box(0, 20, 100, 100), Type: docmodel.Text, Confidence: 0.99}, // IoU 0.8
+		{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text, Confidence: 0.90},
+	}
+	single := Evaluate(gts, highDup[1:])
+	dup := Evaluate(gts, highDup)
+	if dup.MAP >= single.MAP {
+		t.Errorf("high-ranked near-miss duplicate should reduce AP: %.3f vs %.3f", dup.MAP, single.MAP)
+	}
+	if dup.MAR != single.MAR {
+		t.Errorf("duplicates must not change recall: %.3f vs %.3f", dup.MAR, single.MAR)
+	}
+}
+
+func TestConfidenceOrderingMatters(t *testing.T) {
+	// A high-confidence FP before the TP drags the precision curve down.
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text}}
+	tpFirst := []Pred{
+		{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text, Confidence: 0.9},
+		{ImageID: "p1", Box: box(300, 300, 400, 400), Type: docmodel.Text, Confidence: 0.1},
+	}
+	fpFirst := []Pred{
+		{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text, Confidence: 0.1},
+		{ImageID: "p1", Box: box(300, 300, 400, 400), Type: docmodel.Text, Confidence: 0.9},
+	}
+	a := Evaluate(gts, tpFirst)
+	b := Evaluate(gts, fpFirst)
+	if a.MAP <= b.MAP {
+		t.Errorf("confidence ordering should matter: tp-first %.3f vs fp-first %.3f", a.MAP, b.MAP)
+	}
+}
+
+func TestClassesWithoutGTExcluded(t *testing.T) {
+	gts := []GroundTruth{{ImageID: "p1", Box: box(0, 0, 10, 10), Type: docmodel.Text}}
+	preds := []Pred{
+		{ImageID: "p1", Box: box(0, 0, 10, 10), Type: docmodel.Text, Confidence: 0.9},
+		// Spurious detection in a class with no GT must not affect means.
+		{ImageID: "p1", Box: box(50, 50, 60, 60), Type: docmodel.Formula, Confidence: 0.9},
+	}
+	r := Evaluate(gts, preds)
+	if math.Abs(r.MAP-1) > 1e-9 {
+		t.Errorf("no-GT class leaked into mAP: %v", r.MAP)
+	}
+	if _, ok := r.PerClass[docmodel.Formula]; ok {
+		t.Error("no-GT class should be excluded from PerClass")
+	}
+}
+
+func TestRecallCountsMissedGT(t *testing.T) {
+	gts := []GroundTruth{
+		{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text},
+		{ImageID: "p1", Box: box(0, 200, 100, 300), Type: docmodel.Text},
+	}
+	preds := []Pred{{ImageID: "p1", Box: box(0, 0, 100, 100), Type: docmodel.Text, Confidence: 0.9}}
+	r := Evaluate(gts, preds)
+	if math.Abs(r.MAR-0.5) > 1e-9 {
+		t.Errorf("half-recall expected, got %.3f", r.MAR)
+	}
+}

@@ -1,0 +1,152 @@
+// Package llm defines the language-model abstraction Sycamore's semantic
+// operators and Luna's planner are built on, and provides Sim — a
+// deterministic, heuristic stand-in for GPT-4o-class models.
+//
+// The paper's results depend on the *system behaviour* of LLMs, not their
+// raw intelligence: bounded context windows, lossy attention over long
+// prompts, over-generous filters, boilerplate-driven refusals, and reliable
+// narrow-task performance when queries are decomposed (§2 tenets, §7.2
+// failure analysis). Sim reproduces those mechanisms with seeded
+// determinism so every experiment regenerates identically.
+package llm
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Request is one completion call.
+type Request struct {
+	// System is the system prompt (task framing).
+	System string
+	// Prompt is the user prompt, including any stuffed context.
+	Prompt string
+	// MaxTokens caps the completion length (0 = model default).
+	MaxTokens int
+	// Temperature is accepted for API fidelity; Sim is deterministic at
+	// any temperature but uses it to scale its error knobs.
+	Temperature float64
+}
+
+// Response is a completion result.
+type Response struct {
+	// Text is the completion.
+	Text string
+	// Refusal marks a model refusal (e.g. context poisoning, §7.2).
+	Refusal bool
+	// Usage records the cost of this single call.
+	Usage Usage
+}
+
+// Usage tracks token accounting across calls.
+type Usage struct {
+	Calls            int
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// Add accumulates other into u.
+func (u *Usage) Add(other Usage) {
+	u.Calls += other.Calls
+	u.PromptTokens += other.PromptTokens
+	u.CompletionTokens += other.CompletionTokens
+}
+
+// Total returns total tokens in + out.
+func (u Usage) Total() int { return u.PromptTokens + u.CompletionTokens }
+
+// Client is the minimal LLM interface the rest of the system consumes.
+type Client interface {
+	// Complete runs one completion.
+	Complete(ctx context.Context, req Request) (Response, error)
+	// Name identifies the backing model (for traces and reports).
+	Name() string
+}
+
+// ErrTransient marks a retryable model failure (rate limit, timeout). The
+// DocSet executor retries these.
+var ErrTransient = errors.New("llm: transient failure")
+
+// ErrContextTooLong is returned when a prompt exceeds the context window
+// and the model is configured to reject rather than truncate.
+var ErrContextTooLong = errors.New("llm: prompt exceeds context window")
+
+// Meter wraps a Client and accumulates usage across calls; safe for
+// concurrent use.
+type Meter struct {
+	inner Client
+	mu    sync.Mutex
+	usage Usage
+}
+
+// NewMeter wraps client with a usage accumulator.
+func NewMeter(client Client) *Meter { return &Meter{inner: client} }
+
+// Complete forwards to the wrapped client and records usage.
+func (m *Meter) Complete(ctx context.Context, req Request) (Response, error) {
+	resp, err := m.inner.Complete(ctx, req)
+	m.mu.Lock()
+	m.usage.Add(resp.Usage)
+	m.mu.Unlock()
+	return resp, err
+}
+
+// Name returns the wrapped model's name.
+func (m *Meter) Name() string { return m.inner.Name() }
+
+// Usage returns a snapshot of accumulated usage.
+func (m *Meter) Usage() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usage
+}
+
+// Reset clears accumulated usage.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage = Usage{}
+}
+
+// Scripted is a test double that returns canned responses in order, then
+// repeats the last one.
+type Scripted struct {
+	mu        sync.Mutex
+	Responses []Response
+	Errs      []error
+	calls     int
+	// Requests records every request for assertion.
+	Requests []Request
+}
+
+// Complete returns the next scripted response.
+func (s *Scripted) Complete(_ context.Context, req Request) (Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Requests = append(s.Requests, req)
+	i := s.calls
+	s.calls++
+	if i < len(s.Errs) && s.Errs[i] != nil {
+		return Response{}, s.Errs[i]
+	}
+	if len(s.Responses) == 0 {
+		return Response{Text: ""}, nil
+	}
+	if i >= len(s.Responses) {
+		i = len(s.Responses) - 1
+	}
+	r := s.Responses[i]
+	r.Usage = Usage{Calls: 1, PromptTokens: CountTokens(req.Prompt), CompletionTokens: CountTokens(r.Text)}
+	return r, nil
+}
+
+// Name identifies the scripted double.
+func (s *Scripted) Name() string { return "scripted" }
+
+// Calls returns how many completions have been requested.
+func (s *Scripted) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}

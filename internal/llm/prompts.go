@@ -1,0 +1,178 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prompt contracts. Sycamore's semantic operators and the RAG baseline
+// build prompts with these constructors; Sim recognizes the task marker on
+// the first line and parses the labeled sections. A production deployment
+// would send the same prompts to a hosted model — the markers are ordinary
+// instruction text.
+
+// Task markers (first line of the prompt).
+const (
+	TaskExtract   = "### TASK: extract"
+	TaskFilter    = "### TASK: filter"
+	TaskSummarize = "### TASK: summarize"
+	TaskAnswer    = "### TASK: answer"
+	TaskPlan      = "### TASK: plan"
+)
+
+const (
+	docOpen  = "<<<DOCUMENT"
+	docClose = "DOCUMENT>>>"
+)
+
+// FieldSpec describes one field an llmExtract call should pull from a
+// document, mirroring the JSON-schema input of the paper's
+// OpenAIPropertyExtractor (Fig. 4).
+type FieldSpec struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"` // "string" | "int" | "float" | "bool" | "date"
+	Description string `json:"description,omitempty"`
+}
+
+// ExtractPrompt builds the prompt for extracting fields from one document.
+func ExtractPrompt(fields []FieldSpec, docText string) string {
+	var sb strings.Builder
+	sb.WriteString(TaskExtract + "\n")
+	sb.WriteString("Extract the following fields from the document below. Respond with a single JSON object. Use null for fields that cannot be determined.\n")
+	sb.WriteString("FIELDS:\n")
+	for _, f := range fields {
+		desc := f.Description
+		if desc != "" {
+			desc = ": " + desc
+		}
+		fmt.Fprintf(&sb, "- %s (%s)%s\n", f.Name, f.Type, desc)
+	}
+	sb.WriteString(docOpen + "\n")
+	sb.WriteString(docText)
+	sb.WriteString("\n" + docClose + "\n")
+	return sb.String()
+}
+
+// FilterPrompt builds the prompt for a yes/no document predicate.
+func FilterPrompt(question, docText string) string {
+	var sb strings.Builder
+	sb.WriteString(TaskFilter + "\n")
+	sb.WriteString("Answer strictly \"yes\" or \"no\".\n")
+	sb.WriteString("QUESTION: " + question + "\n")
+	sb.WriteString(docOpen + "\n")
+	sb.WriteString(docText)
+	sb.WriteString("\n" + docClose + "\n")
+	return sb.String()
+}
+
+// SummarizePrompt builds the prompt for summarizing/combining items under
+// an instruction (llmGenerate / llmReduceByKey).
+func SummarizePrompt(instruction string, items []string) string {
+	var sb strings.Builder
+	sb.WriteString(TaskSummarize + "\n")
+	sb.WriteString("INSTRUCTION: " + instruction + "\n")
+	sb.WriteString("ITEMS:\n")
+	for i, it := range items {
+		fmt.Fprintf(&sb, "[%d] %s\n", i+1, strings.ReplaceAll(it, "\n", " "))
+	}
+	return sb.String()
+}
+
+// RAGPrompt builds the conventional RAG prompt: retrieved chunks stuffed as
+// context followed by the user question (§7.2 baseline).
+func RAGPrompt(question string, chunks []RAGChunk) string {
+	var sb strings.Builder
+	sb.WriteString(TaskAnswer + "\n")
+	sb.WriteString("Answer the question using ONLY the context below. End your reply with a final line of the form \"Answer: <value>\".\n")
+	sb.WriteString("QUESTION: " + question + "\n")
+	sb.WriteString("CONTEXT:\n")
+	for i, c := range chunks {
+		fmt.Fprintf(&sb, "[%d] (doc %s) %s\n", i+1, c.DocID, strings.ReplaceAll(c.Text, "\n", " "))
+	}
+	return sb.String()
+}
+
+// RAGChunk is one retrieved context chunk with provenance.
+type RAGChunk struct {
+	DocID string
+	Text  string
+}
+
+// section extracts the text following "LABEL:" up to the next line that
+// looks like another section label or the end of s.
+func section(s, label string) string {
+	idx := strings.Index(s, label)
+	if idx < 0 {
+		return ""
+	}
+	rest := s[idx+len(label):]
+	if nl := strings.Index(rest, "\n"); nl >= 0 {
+		// Single-line sections (QUESTION:, INSTRUCTION:) end at the newline.
+		return strings.TrimSpace(rest[:nl])
+	}
+	return strings.TrimSpace(rest)
+}
+
+// documentBody extracts the document text between the delimiters. If the
+// closing delimiter was truncated away by the context window, everything
+// after the opener is used (the model sees a cut-off document).
+func documentBody(prompt string) string {
+	start := strings.Index(prompt, docOpen)
+	if start < 0 {
+		return ""
+	}
+	body := prompt[start+len(docOpen):]
+	if end := strings.Index(body, docClose); end >= 0 {
+		body = body[:end]
+	}
+	return strings.TrimSpace(body)
+}
+
+// parseFieldSpecs reads back the FIELDS: block of an extract prompt.
+func parseFieldSpecs(prompt string) []FieldSpec {
+	idx := strings.Index(prompt, "FIELDS:\n")
+	if idx < 0 {
+		return nil
+	}
+	var out []FieldSpec
+	for _, line := range strings.Split(prompt[idx+len("FIELDS:\n"):], "\n") {
+		if !strings.HasPrefix(line, "- ") {
+			break
+		}
+		line = strings.TrimPrefix(line, "- ")
+		name, rest, ok := strings.Cut(line, " (")
+		if !ok {
+			continue
+		}
+		typ, desc, _ := strings.Cut(rest, ")")
+		desc = strings.TrimPrefix(desc, ":")
+		out = append(out, FieldSpec{Name: strings.TrimSpace(name), Type: strings.TrimSpace(typ), Description: strings.TrimSpace(desc)})
+	}
+	return out
+}
+
+// parseRAGChunks reads back the CONTEXT chunks of an answer prompt,
+// tolerating a final chunk cut off by window truncation.
+func parseRAGChunks(prompt string) []RAGChunk {
+	idx := strings.Index(prompt, "CONTEXT:\n")
+	if idx < 0 {
+		return nil
+	}
+	var out []RAGChunk
+	for _, line := range strings.Split(prompt[idx+len("CONTEXT:\n"):], "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "[") {
+			continue
+		}
+		_, rest, ok := strings.Cut(line, "] (doc ")
+		if !ok {
+			continue
+		}
+		id, text, ok := strings.Cut(rest, ") ")
+		if !ok {
+			continue
+		}
+		out = append(out, RAGChunk{DocID: id, Text: text})
+	}
+	return out
+}

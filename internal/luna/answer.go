@@ -1,0 +1,80 @@
+package luna
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AnswerKind classifies the shape of a query result.
+type AnswerKind string
+
+// Answer shapes.
+const (
+	AnswerNumber AnswerKind = "number"
+	AnswerTable  AnswerKind = "table"
+	AnswerList   AnswerKind = "list"
+	AnswerText   AnswerKind = "text"
+)
+
+// Answer is the typed result of a Luna query (or the parsed result of the
+// RAG baseline, for comparison).
+type Answer struct {
+	Kind   AnswerKind
+	Number float64
+	// Table maps group keys to aggregate values (breakdown answers).
+	Table map[string]float64
+	// List holds ordered values (list and top-k answers).
+	List []string
+	// Text holds generated/narrative answers.
+	Text string
+	// Refused marks a model refusal (RAG baseline only; Luna never
+	// refuses because aggregation happens in the engine, §7.2).
+	Refused bool
+}
+
+// String renders the answer for display.
+func (a Answer) String() string {
+	if a.Refused {
+		return "(refused) " + a.Text
+	}
+	switch a.Kind {
+	case AnswerNumber:
+		if a.Number == float64(int64(a.Number)) {
+			return fmt.Sprintf("%d", int64(a.Number))
+		}
+		return fmt.Sprintf("%.3f", a.Number)
+	case AnswerTable:
+		keys := make([]string, 0, len(a.Table))
+		for k := range a.Table {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			v := a.Table[k]
+			if v == float64(int64(v)) {
+				parts[i] = fmt.Sprintf("%s=%d", k, int64(v))
+			} else {
+				parts[i] = fmt.Sprintf("%s=%.2f", k, v)
+			}
+		}
+		return strings.Join(parts, ", ")
+	case AnswerList:
+		return strings.Join(a.List, ", ")
+	default:
+		return a.Text
+	}
+}
+
+// NumberAnswer builds a numeric answer.
+func NumberAnswer(v float64) Answer { return Answer{Kind: AnswerNumber, Number: v} }
+
+// TableAnswer builds a breakdown answer.
+func TableAnswer(t map[string]float64) Answer { return Answer{Kind: AnswerTable, Table: t} }
+
+// ListAnswer builds an ordered-list answer.
+func ListAnswer(items ...string) Answer { return Answer{Kind: AnswerList, List: items} }
+
+// TextAnswer builds a narrative answer.
+func TextAnswer(text string) Answer { return Answer{Kind: AnswerText, Text: text} }

@@ -1,0 +1,270 @@
+package luna
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/docset"
+	"aryn/internal/index"
+)
+
+// Executor lowers validated logical plans onto Sycamore DocSet pipelines
+// and derives typed answers from the terminal operator (§6.1 Execution).
+type Executor struct {
+	// EC is the Sycamore execution context (LLM, embedder, parallelism).
+	EC *docset.Context
+	// Store is the index the plan roots read from.
+	Store *index.Store
+}
+
+// Result is one executed query: the plans, the typed answer, and the full
+// lineage trace for the drill-down UI (§6.2).
+type Result struct {
+	Question  string
+	Plan      *LogicalPlan // as emitted by the planner
+	Rewritten *LogicalPlan // after rule-based optimization
+	Answer    Answer
+	Trace     *docset.Trace
+	// Compiled is the physical Sycamore plan rendering.
+	Compiled string
+	// Docs are the terminal documents (for drill-down).
+	Docs []*docmodel.Document
+}
+
+// Run executes the plan and shapes the answer.
+func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) {
+	if len(plan.Ops) == 0 {
+		return nil, fmt.Errorf("%w: empty plan", ErrInvalidPlan)
+	}
+	res := &Result{Rewritten: plan}
+
+	ds, err := e.root(plan.Ops[0])
+	if err != nil {
+		return nil, err
+	}
+
+	var terminal LogicalOp
+	var groupKeyField string
+	var projectFields []string
+	body := plan.Ops[1:]
+	for i, op := range body {
+		switch op.Op {
+		case OpBasicFilter:
+			ds = ds.FilterProps(compileFilters(op.Filters))
+		case OpLLMFilter:
+			ds = ds.LLMFilter(op.Question)
+		case OpLLMExtract:
+			ds = ds.LLMExtract(op.Fields)
+		case OpGroupByAggregate:
+			ds = ds.GroupByAggregate(op.Key, docset.AggKind(op.Agg), op.ValueField)
+			groupKeyField = op.Key
+			if groupKeyField == "" {
+				groupKeyField = "group"
+			}
+			terminal = op
+		case OpLLMCluster:
+			ds = ds.LLMCluster(op.K, nil, 17)
+			terminal = op
+		case OpTopK:
+			ds = ds.TopK(op.Field, op.K)
+			terminal = op
+		case OpLimit:
+			ds = ds.Limit(op.K)
+		case opDistinct:
+			ds = ds.Distinct(op.Field)
+		case OpProject:
+			projectFields = op.ProjectFields
+			terminal = op
+		case OpLLMGenerate:
+			ds = ds.Summarize(op.Instruction)
+			terminal = op
+		case OpCount, OpFraction:
+			if i != len(body)-1 {
+				return nil, fmt.Errorf("%w: %s must be terminal", ErrInvalidPlan, op.Op)
+			}
+			terminal = op
+		default:
+			return nil, fmt.Errorf("%w: unknown operator %q", ErrInvalidPlan, op.Op)
+		}
+	}
+
+	res.Compiled = ds.PlanString()
+	docs, trace, err := ds.Execute(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("luna: execute: %w", err)
+	}
+	res.Trace = trace
+	res.Docs = docs
+
+	switch terminal.Op {
+	case OpCount:
+		res.Answer = NumberAnswer(float64(len(docs)))
+	case OpFraction:
+		ans, ferr := e.fraction(ctx, docs, terminal)
+		if ferr != nil {
+			return nil, ferr
+		}
+		res.Answer = ans
+	case OpGroupByAggregate:
+		res.Answer = tableFromGroups(docs, groupKeyField)
+		if terminal.Key == "" && len(docs) == 1 {
+			// Global aggregate: a single number.
+			if v, ok := docs[0].Properties.Float("value"); ok {
+				res.Answer = NumberAnswer(v)
+			}
+		}
+	case OpTopK:
+		keys := make([]string, 0, len(docs))
+		for _, d := range docs {
+			key := d.Property(groupKeyField)
+			if key == "" {
+				key = d.ID
+			}
+			keys = append(keys, key)
+		}
+		res.Answer = ListAnswer(keys...)
+	case OpProject:
+		res.Answer = projectAnswer(docs, projectFields)
+	case OpLLMGenerate:
+		text := ""
+		if len(docs) > 0 {
+			text = docs[0].Text
+		}
+		res.Answer = TextAnswer(text)
+	case OpLLMCluster:
+		res.Answer = tableFromClusterLabels(docs)
+	default:
+		ids := make([]string, 0, len(docs))
+		for _, d := range docs {
+			ids = append(ids, d.ID)
+		}
+		res.Answer = ListAnswer(ids...)
+	}
+	return res, nil
+}
+
+// root builds the plan's source DocSet.
+func (e *Executor) root(op LogicalOp) (*docset.DocSet, error) {
+	switch op.Op {
+	case OpQueryDatabase:
+		return docset.QueryDatabase(e.EC, e.Store, index.Query{
+			Keyword: op.Keyword,
+			Filter:  compileFilters(op.Filters),
+		}), nil
+	case OpQueryVectorDatabase:
+		k := op.K
+		if k <= 0 {
+			k = 20
+		}
+		return docset.QueryVectorDatabase(e.EC, e.Store, op.Query, nil, k), nil
+	default:
+		return nil, fmt.Errorf("%w: plan must start with a query operator, got %q", ErrInvalidPlan, op.Op)
+	}
+}
+
+// fraction computes the terminal fraction op: the share of the incoming
+// documents satisfying the predicate.
+func (e *Executor) fraction(ctx context.Context, docs []*docmodel.Document, op LogicalOp) (Answer, error) {
+	if len(docs) == 0 {
+		return NumberAnswer(0), nil
+	}
+	num := docset.FromDocuments(e.EC, docs)
+	if op.Question != "" {
+		num = num.LLMFilter(op.Question)
+	} else if len(op.Filters) > 0 {
+		num = num.FilterProps(compileFilters(op.Filters))
+	}
+	matched, err := num.Count(ctx)
+	if err != nil {
+		return Answer{}, fmt.Errorf("luna: fraction: %w", err)
+	}
+	return NumberAnswer(float64(matched) / float64(len(docs))), nil
+}
+
+// compileFilters lowers FilterSpecs to an index predicate.
+func compileFilters(filters []FilterSpec) index.Predicate {
+	if len(filters) == 0 {
+		return index.MatchAll()
+	}
+	preds := make([]index.Predicate, 0, len(filters))
+	for _, f := range filters {
+		switch f.Kind {
+		case "term":
+			preds = append(preds, index.Term(f.Field, f.Value))
+		case "contains":
+			preds = append(preds, index.Contains(f.Field, fmt.Sprintf("%v", f.Value)))
+		case "gte":
+			v := toFloat(f.Value)
+			preds = append(preds, index.Range(f.Field, &v, nil))
+		case "lte":
+			v := toFloat(f.Value)
+			preds = append(preds, index.Range(f.Field, nil, &v))
+		}
+	}
+	return index.And(preds...)
+}
+
+func toFloat(v any) float64 {
+	switch t := v.(type) {
+	case float64:
+		return t
+	case int:
+		return float64(t)
+	case string:
+		var f float64
+		fmt.Sscanf(t, "%f", &f)
+		return f
+	default:
+		return 0
+	}
+}
+
+func tableFromGroups(docs []*docmodel.Document, keyField string) Answer {
+	table := make(map[string]float64, len(docs))
+	for _, d := range docs {
+		key := d.Property(keyField)
+		if key == "" {
+			key = d.ID
+		}
+		if v, ok := d.Properties.Float("value"); ok {
+			table[key] = v
+		}
+	}
+	return TableAnswer(table)
+}
+
+func tableFromClusterLabels(docs []*docmodel.Document) Answer {
+	table := map[string]float64{}
+	for _, d := range docs {
+		label := d.Property("cluster_label")
+		if label == "" {
+			label = "cluster " + d.Property("cluster_id")
+		}
+		table[label]++
+	}
+	return TableAnswer(table)
+}
+
+func projectAnswer(docs []*docmodel.Document, fields []string) Answer {
+	seen := map[string]bool{}
+	var values []string
+	for _, d := range docs {
+		parts := make([]string, 0, len(fields))
+		for _, f := range fields {
+			if v := d.Property(f); v != "" {
+				parts = append(parts, v)
+			}
+		}
+		v := strings.Join(parts, " / ")
+		if v == "" || seen[v] {
+			continue
+		}
+		seen[v] = true
+		values = append(values, v)
+	}
+	a := ListAnswer(values...)
+	a.Text = strings.Join(values, "; ")
+	return a
+}

@@ -1,0 +1,115 @@
+package luna
+
+import (
+	"context"
+	"strings"
+)
+
+// Conversation wraps a Service with history so users can ask follow-up
+// questions that implicitly refer to the previous query — "what about
+// incidents without substantial damage", "show only results in
+// California" (§6.2).
+type Conversation struct {
+	Service *Service
+	// History records every exchange in order.
+	History []*Result
+}
+
+// NewConversation starts an empty conversation over the service.
+func NewConversation(s *Service) *Conversation { return &Conversation{Service: s} }
+
+var followUpPrefixes = []string{
+	"what about", "how about", "show only", "and what about", "now show", "only",
+}
+
+// followUpFragment returns the referring fragment if the question is a
+// follow-up ("" otherwise).
+func followUpFragment(question string) string {
+	q := strings.ToLower(strings.TrimSpace(question))
+	for _, p := range followUpPrefixes {
+		if strings.HasPrefix(q, p) {
+			return strings.TrimSpace(strings.TrimSuffix(q[len(p):], "?"))
+		}
+	}
+	return ""
+}
+
+// Ask answers the question, resolving follow-ups against the previous
+// plan: the fragment's filters replace same-field filters in the prior
+// plan's root scan while the terminal shape is kept.
+func (c *Conversation) Ask(ctx context.Context, question string) (*Result, error) {
+	fragment := followUpFragment(question)
+	if fragment == "" || len(c.History) == 0 {
+		res, err := c.Service.Ask(ctx, question)
+		if err != nil {
+			return nil, err
+		}
+		c.History = append(c.History, res)
+		return res, nil
+	}
+
+	prev := c.History[len(c.History)-1]
+	merged := c.mergeFollowUp(prev.Rewritten, fragment)
+	res, err := c.Service.RunPlan(ctx, question, merged)
+	if err != nil {
+		return nil, err
+	}
+	c.History = append(c.History, res)
+	return res, nil
+}
+
+// mergeFollowUp rewrites the previous plan with the fragment's conditions.
+func (c *Conversation) mergeFollowUp(prev *LogicalPlan, fragment string) *LogicalPlan {
+	st := &parseState{
+		parser:   &parser{schema: c.Service.Planner.Schema},
+		original: fragment,
+		text:     " " + strings.ToLower(fragment) + " ",
+	}
+	st.extractFilters()
+
+	plan := &LogicalPlan{Ops: append([]LogicalOp(nil), prev.Ops...)}
+	if len(plan.Ops) == 0 || plan.Ops[0].Op != OpQueryDatabase && plan.Ops[0].Op != OpQueryVectorDatabase {
+		return plan
+	}
+	root := plan.Ops[0]
+	// Replace same-field filters, append new ones.
+	newFields := map[string]bool{}
+	for _, f := range st.filters {
+		newFields[f.Field] = true
+	}
+	var kept []FilterSpec
+	for _, f := range root.Filters {
+		if !newFields[f.Field] {
+			kept = append(kept, f)
+		}
+	}
+	root.Filters = append(kept, st.filters...)
+	plan.Ops[0] = root
+
+	// Append new semantic predicates (dedup against existing questions).
+	existing := map[string]bool{}
+	for _, op := range plan.Ops {
+		if op.Op == OpLLMFilter {
+			existing[op.Question] = true
+		}
+	}
+	var withPreds []LogicalOp
+	withPreds = append(withPreds, plan.Ops[0])
+	for _, pred := range st.llmPreds {
+		q := "Does the document indicate " + pred + "?"
+		if !existing[q] {
+			withPreds = append(withPreds, LogicalOp{Op: OpLLMFilter, Question: q})
+		}
+	}
+	withPreds = append(withPreds, plan.Ops[1:]...)
+	plan.Ops = withPreds
+	return plan
+}
+
+// Last returns the most recent result (nil if none).
+func (c *Conversation) Last() *Result {
+	if len(c.History) == 0 {
+		return nil
+	}
+	return c.History[len(c.History)-1]
+}

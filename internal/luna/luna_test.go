@@ -1,0 +1,474 @@
+package luna
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/docset"
+	"aryn/internal/index"
+	"aryn/internal/llm"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "us_state", Kind: "term", Value: "KY"}}},
+		{Op: OpLLMFilter, Question: "Does the document indicate birds?"},
+		{Op: OpCount},
+	}}
+	parsed, err := ParsePlan(plan.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Ops) != 3 || parsed.Ops[1].Question != plan.Ops[1].Question {
+		t.Errorf("round trip lost ops: %s", parsed.String())
+	}
+}
+
+func TestParsePlanToleratesProse(t *testing.T) {
+	text := "Sure! Here is the plan:\n{\"ops\":[{\"op\":\"count\"}]}\nHope that helps."
+	plan, err := ParsePlan(text)
+	if err != nil || len(plan.Ops) != 1 {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if _, err := ParsePlan("no json here"); err == nil {
+		t.Error("missing JSON should error")
+	}
+	if _, err := ParsePlan("{not valid json}"); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	schema := testSchema()
+	cases := []struct {
+		name string
+		plan *LogicalPlan
+	}{
+		{"empty", &LogicalPlan{}},
+		{"unknown op", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: "teleport"}}}},
+		{"unknown field", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "hallucinated", Kind: "term", Value: 1}}}}}},
+		{"bad filter kind", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "us_state", Kind: "fuzzy", Value: 1}}}}}},
+		{"group key unknown", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpGroupByAggregate, Key: "bogus", Agg: "count"}}}},
+		{"agg field unknown", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpGroupByAggregate, Agg: "avg", ValueField: "bogus"}}}},
+		{"bad agg", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpGroupByAggregate, Key: "us_state", Agg: "median"}}}},
+		{"count not terminal", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpCount}, {Op: OpLimit, K: 5}}}},
+		{"scan not root", &LogicalPlan{Ops: []LogicalOp{{Op: OpCount}}}},
+		{"midplan scan", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpQueryDatabase}}}},
+		{"llmFilter empty", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpLLMFilter}}}},
+		{"project unknown field", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpProject, ProjectFields: []string{"bogus"}}}}},
+		{"topK unknown field", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpTopK, Field: "bogus", K: 3}}}},
+		{"cluster k=0", &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpLLMCluster}}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.plan, schema); err == nil {
+			t.Errorf("%s: should be rejected", c.name)
+		}
+	}
+}
+
+func TestValidateAcceptsExtractedFields(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: "damaged_part", Type: "string"}}},
+		{Op: OpGroupByAggregate, Key: "damaged_part", Agg: "count"},
+		{Op: OpTopK, Field: "value", K: 3},
+	}}
+	if err := Validate(plan, testSchema()); err != nil {
+		t.Errorf("extracted field should be usable downstream: %v", err)
+	}
+}
+
+func TestRewriteFusesExtracts(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: "a", Type: "string"}}},
+		{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: "b", Type: "string"}, {Name: "a", Type: "string"}}},
+		{Op: OpCount},
+	}}
+	out := Rewrite(plan, DefaultRewrites())
+	extracts := 0
+	for _, op := range out.Ops {
+		if op.Op == OpLLMExtract {
+			extracts++
+			if len(op.Fields) != 2 {
+				t.Errorf("fused fields = %d, want 2 (deduped)", len(op.Fields))
+			}
+		}
+	}
+	if extracts != 1 {
+		t.Errorf("extracts after fuse = %d", extracts)
+	}
+	if len(plan.Ops) != 4 {
+		t.Error("Rewrite must not mutate its input")
+	}
+}
+
+func TestRewritePushesFilters(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "us_state", Kind: "term", Value: "KY"}}},
+		{Op: OpBasicFilter, Filters: []FilterSpec{{Field: "engines", Kind: "term", Value: 1}}},
+		{Op: OpCount},
+	}}
+	out := Rewrite(plan, DefaultRewrites())
+	if len(out.Ops) != 2 || len(out.Ops[0].Filters) != 2 {
+		t.Errorf("filters not pushed: %s", out.String())
+	}
+}
+
+func TestRewriteDropsDuplicateLLMFilters(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpLLMFilter, Question: "q?"},
+		{Op: OpLLMFilter, Question: "q?"},
+		{Op: OpCount},
+	}}
+	out := Rewrite(plan, DefaultRewrites())
+	n := 0
+	for _, op := range out.Ops {
+		if op.Op == OpLLMFilter {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("duplicate llmFilter kept: %s", out.String())
+	}
+}
+
+func TestRewriteDedupInsertion(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpCount}}}
+	opts := DefaultRewrites()
+	opts.DedupByAccident = true
+	out := Rewrite(plan, opts)
+	if len(out.Ops) != 3 || out.Ops[1].Op != opDistinct || out.Ops[1].Field != "accidentNumber" {
+		t.Errorf("dedup not inserted: %s", out.String())
+	}
+	// Default rewrites must NOT insert it (that's the paper's bug).
+	out2 := Rewrite(plan, DefaultRewrites())
+	for _, op := range out2.Ops {
+		if op.Op == opDistinct {
+			t.Error("dedup must be off by default")
+		}
+	}
+}
+
+// executorFixture indexes a small corpus and returns a ready executor.
+func executorFixture(t *testing.T) (*Executor, *index.Store) {
+	t.Helper()
+	store := index.NewStore()
+	mk := func(id, state, damage string, engines int, text string) {
+		d := docmodel.New(id)
+		d.SetProperty("accidentNumber", id)
+		d.SetProperty("us_state", state)
+		d.SetProperty("aircraftDamage", damage)
+		d.SetProperty("engines", engines)
+		d.Text = text
+		if err := store.PutDocument(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("A1", "KY", "Substantial", 1, "The airplane struck a flock of geese and sustained substantial damage to the left wing.")
+	mk("A2", "KY", "Destroyed", 2, "The airplane entered a spin; substantial damage to the fuselage.")
+	mk("A3", "CA", "Substantial", 1, "A hard landing resulted in substantial damage to the landing gear.")
+	ec := docset.NewContext(docset.WithLLM(llm.NewSim(1)))
+	return &Executor{EC: ec, Store: store}, store
+}
+
+func TestExecutorCount(t *testing.T) {
+	ex, _ := executorFixture(t)
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "us_state", Kind: "term", Value: "KY"}}},
+		{Op: OpCount},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Kind != AnswerNumber || res.Answer.Number != 2 {
+		t.Errorf("count = %+v", res.Answer)
+	}
+	if res.Trace == nil || res.Compiled == "" {
+		t.Error("trace/compiled missing")
+	}
+}
+
+func TestExecutorGroupAndTopK(t *testing.T) {
+	ex, _ := executorFixture(t)
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpGroupByAggregate, Key: "us_state", Agg: "count"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Table["KY"] != 2 || res.Answer.Table["CA"] != 1 {
+		t.Errorf("table = %v", res.Answer.Table)
+	}
+
+	res2, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpGroupByAggregate, Key: "us_state", Agg: "count"},
+		{Op: OpTopK, Field: "value", K: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Answer.List) != 1 || res2.Answer.List[0] != "KY" {
+		t.Errorf("top = %v", res2.Answer.List)
+	}
+}
+
+func TestExecutorGlobalAggregate(t *testing.T) {
+	ex, _ := executorFixture(t)
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpGroupByAggregate, Key: "", Agg: "max", ValueField: "engines"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Kind != AnswerNumber || res.Answer.Number != 2 {
+		t.Errorf("global max = %+v", res.Answer)
+	}
+}
+
+func TestExecutorFraction(t *testing.T) {
+	ex, _ := executorFixture(t)
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "aircraftDamage", Kind: "term", Value: "Substantial"}}},
+		{Op: OpFraction, Question: "Does the document indicate birds?"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Number != 0.5 { // A1 of {A1, A3}
+		t.Errorf("fraction = %v", res.Answer.Number)
+	}
+}
+
+func TestExecutorProjectAndDistinct(t *testing.T) {
+	ex, _ := executorFixture(t)
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: opDistinct, Field: "us_state"},
+		{Op: OpProject, ProjectFields: []string{"us_state"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answer.List) != 2 {
+		t.Errorf("distinct projection = %v", res.Answer.List)
+	}
+}
+
+func TestExecutorLLMFilterAndGenerate(t *testing.T) {
+	ex, _ := executorFixture(t)
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpLLMFilter, Question: "Does the document indicate birds?"},
+		{Op: OpLLMGenerate, Instruction: "summarize"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Kind != AnswerText || !strings.Contains(res.Answer.Text, "geese") {
+		t.Errorf("generate = %+v", res.Answer)
+	}
+}
+
+func TestExecutorRejectsBadPlans(t *testing.T) {
+	ex, _ := executorFixture(t)
+	if _, err := ex.Run(context.Background(), &LogicalPlan{}); err == nil {
+		t.Error("empty plan should fail")
+	}
+	if _, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{{Op: "bogus"}}}); err == nil {
+		t.Error("bogus root should fail")
+	}
+}
+
+func TestServiceEndToEndWithPlannerSkill(t *testing.T) {
+	ex, store := executorFixture(t)
+	sim := llm.NewSim(1)
+	sim.Register(PlannerSkill{})
+	svc := &Service{
+		Planner:  NewPlanner(sim, InferSchema(store)),
+		Executor: ex,
+	}
+	res, err := svc.Ask(context.Background(), "How many incidents were there in Kentucky?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Number != 2 {
+		t.Errorf("end-to-end count = %v", res.Answer.Number)
+	}
+	if res.Plan == nil || res.Rewritten == nil {
+		t.Error("plans missing from result")
+	}
+}
+
+func TestRunPlanValidatesUserEdits(t *testing.T) {
+	ex, store := executorFixture(t)
+	sim := llm.NewSim(1)
+	sim.Register(PlannerSkill{})
+	svc := &Service{Planner: NewPlanner(sim, InferSchema(store)), Executor: ex}
+	bad := &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "nope", Kind: "term", Value: 1}}}}}
+	if _, err := svc.RunPlan(context.Background(), "q", bad); err == nil {
+		t.Error("user-edited invalid plan must be rejected")
+	}
+	good := &LogicalPlan{Ops: []LogicalOp{{Op: OpQueryDatabase}, {Op: OpCount}}}
+	res, err := svc.RunPlan(context.Background(), "q", good)
+	if err != nil || res.Answer.Number != 3 {
+		t.Errorf("RunPlan: %v %v", res, err)
+	}
+}
+
+func TestConversationFollowUpMergesFilters(t *testing.T) {
+	ex, store := executorFixture(t)
+	sim := llm.NewSim(1)
+	sim.Register(PlannerSkill{})
+	conv := NewConversation(&Service{Planner: NewPlanner(sim, InferSchema(store)), Executor: ex})
+	ctx := context.Background()
+	first, err := conv.Ask(ctx, "How many incidents involved substantial damage?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Answer.Number != 2 {
+		t.Fatalf("first = %v", first.Answer.Number)
+	}
+	second, err := conv.Ask(ctx, "show only results in California")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Answer.Number != 1 {
+		t.Errorf("follow-up should keep damage filter and add CA: %v", second.Answer.Number)
+	}
+	if conv.Last() != second || len(conv.History) != 2 {
+		t.Error("history bookkeeping wrong")
+	}
+}
+
+func TestSchemaInferAndPromptRoundTrip(t *testing.T) {
+	_, store := executorFixture(t)
+	schema := InferSchema(store)
+	if schema.Field("us_state") == nil || schema.Field("engines") == nil {
+		t.Fatalf("schema = %+v", schema)
+	}
+	if schema.Field("engines").Type != "int" {
+		t.Errorf("engines type = %s", schema.Field("engines").Type)
+	}
+	prompt := BuildPlanPrompt(schema, "How many?")
+	back := parseSchemaBlock(prompt)
+	if len(back.Fields) != len(schema.Fields) {
+		t.Errorf("prompt round trip lost fields: %d vs %d", len(back.Fields), len(schema.Fields))
+	}
+	if promptQuestion(prompt) != "How many?" {
+		t.Errorf("question round trip: %q", promptQuestion(prompt))
+	}
+}
+
+func TestExtractFieldsUsed(t *testing.T) {
+	plan := &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryDatabase},
+		{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: "a"}}},
+		{Op: OpLLMFilter, Question: "x?"},
+	}}
+	ex, per := ExtractFieldsUsed(plan)
+	if ex != 1 || per != 2 {
+		t.Errorf("ExtractFieldsUsed = %d, %d", ex, per)
+	}
+}
+
+func TestAnswerString(t *testing.T) {
+	if NumberAnswer(3).String() != "3" {
+		t.Error("int render")
+	}
+	if NumberAnswer(0.125).String() != "0.125" {
+		t.Error("float render")
+	}
+	if got := TableAnswer(map[string]float64{"b": 2, "a": 1}).String(); got != "a=1, b=2" {
+		t.Errorf("table render = %q", got)
+	}
+	if ListAnswer("x", "y").String() != "x, y" {
+		t.Error("list render")
+	}
+	r := Answer{Refused: true, Text: "no"}
+	if !strings.Contains(r.String(), "refused") {
+		t.Error("refusal render")
+	}
+}
+
+func TestExecutorVectorRoot(t *testing.T) {
+	ex, store := executorFixture(t)
+	// Index chunks so the vector root has something to search.
+	em := ex.EC.Embedder
+	for _, d := range store.Documents() {
+		err := store.PutChunk(index.Chunk{ID: d.ID + "-c", ParentID: d.ID, Text: d.Text, Vector: em.Embed(d.Text)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ex.Run(context.Background(), &LogicalPlan{Ops: []LogicalOp{
+		{Op: OpQueryVectorDatabase, Query: "flock of geese bird strike"},
+		{Op: OpLimit, K: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 1 || res.Docs[0].ID != "A1" {
+		t.Fatalf("vector root = %v", res.Docs)
+	}
+}
+
+func TestPlannerRepairLoop(t *testing.T) {
+	// First response is an invalid plan; the planner re-prompts with the
+	// validator's feedback and accepts the corrected plan.
+	scripted := &llm.Scripted{Responses: []llm.Response{
+		{Text: `{"ops":[{"op":"teleport"}]}`},
+		{Text: `{"ops":[{"op":"queryDatabase"},{"op":"count"}]}`},
+	}}
+	p := NewPlanner(scripted, testSchema())
+	raw, rewritten, err := p.Plan(context.Background(), "How many incidents?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw == nil || rewritten == nil || scripted.Calls() != 2 {
+		t.Fatalf("repair loop: calls=%d", scripted.Calls())
+	}
+	// Repeated invalid plans exhaust MaxRepairs.
+	bad := &llm.Scripted{Responses: []llm.Response{{Text: `{"ops":[{"op":"teleport"}]}`}}}
+	p2 := NewPlanner(bad, testSchema())
+	if _, _, err := p2.Plan(context.Background(), "q"); err == nil {
+		t.Error("persistent invalid plans should fail")
+	}
+}
+
+func TestConversationLastEmpty(t *testing.T) {
+	conv := NewConversation(nil)
+	if conv.Last() != nil {
+		t.Error("empty conversation Last should be nil")
+	}
+}
+
+func TestSchemaTypeInference(t *testing.T) {
+	store := index.NewStore()
+	d := docmodel.New("x")
+	d.SetProperty("i", 1)
+	d.SetProperty("f", 1.5)
+	d.SetProperty("b", true)
+	d.SetProperty("s", "str")
+	if err := store.PutDocument(d); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed types degrade to string.
+	d2 := docmodel.New("y")
+	d2.SetProperty("i", "not a number")
+	if err := store.PutDocument(d2); err != nil {
+		t.Fatal(err)
+	}
+	schema := InferSchema(store)
+	for field, want := range map[string]string{"i": "string", "f": "float", "b": "bool", "s": "string"} {
+		if got := schema.Field(field).Type; got != want {
+			t.Errorf("type(%s) = %s, want %s", field, got, want)
+		}
+	}
+}

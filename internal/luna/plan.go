@@ -1,0 +1,174 @@
+// Package luna implements the paper's natural-language query service (§6):
+// a planner that turns questions into DAGs of logical operators, a
+// validator and rule-based rewriter, and a compiler/executor that lowers
+// logical plans onto Sycamore DocSet pipelines with full lineage traces.
+package luna
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"aryn/internal/llm"
+)
+
+// Op names — the logical operator vocabulary exposed to the planner LLM
+// (§6.1). Deliberately higher-level than the physical Sycamore operators:
+// groupByAggregate and llmCluster compile to map/reduce chains, but the
+// planner reasons in these terms.
+const (
+	OpQueryDatabase       = "queryDatabase"
+	OpQueryVectorDatabase = "queryVectorDatabase"
+	OpBasicFilter         = "basicFilter"
+	OpLLMFilter           = "llmFilter"
+	OpLLMExtract          = "llmExtract"
+	OpGroupByAggregate    = "groupByAggregate"
+	OpLLMCluster          = "llmCluster"
+	OpTopK                = "topK"
+	OpCount               = "count"
+	OpFraction            = "fraction"
+	OpLimit               = "limit"
+	OpProject             = "project"
+	OpLLMGenerate         = "llmGenerate"
+)
+
+// FilterSpec is one property predicate inside a plan.
+type FilterSpec struct {
+	Field string `json:"field"`
+	// Kind is "term", "contains", "gte", or "lte".
+	Kind  string `json:"kind"`
+	Value any    `json:"value"`
+}
+
+// LogicalOp is one step of a logical plan. Exactly the fields relevant to
+// its Op are set.
+type LogicalOp struct {
+	Op string `json:"op"`
+	// queryDatabase / basicFilter
+	Keyword string       `json:"keyword,omitempty"`
+	Filters []FilterSpec `json:"filters,omitempty"`
+	// llmFilter / fraction
+	Question string `json:"question,omitempty"`
+	// llmExtract
+	Fields []llm.FieldSpec `json:"fields,omitempty"`
+	// groupByAggregate
+	Key        string `json:"key,omitempty"`
+	Agg        string `json:"agg,omitempty"`
+	ValueField string `json:"value_field,omitempty"`
+	// topK / limit / llmCluster / queryVectorDatabase
+	K int `json:"k,omitempty"`
+	// topK
+	Field string `json:"field,omitempty"`
+	// project
+	ProjectFields []string `json:"project_fields,omitempty"`
+	// llmGenerate
+	Instruction string `json:"instruction,omitempty"`
+	// queryVectorDatabase
+	Query string `json:"query,omitempty"`
+}
+
+// LogicalPlan is the ordered operator chain Luna executes. The paper's
+// plans are DAGs; every plan the planner emits is a linear chain (joins
+// are future work, §9).
+type LogicalPlan struct {
+	Ops []LogicalOp `json:"ops"`
+}
+
+// JSON renders the plan in the exact format the planner LLM emits and the
+// UI displays (§6.2: "Luna exposes the plan ... as a simple JSON object").
+func (p *LogicalPlan) JSON() string {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// ParsePlan decodes planner output, tolerating surrounding prose by
+// extracting the outermost JSON object.
+func ParsePlan(text string) (*LogicalPlan, error) {
+	start := strings.Index(text, "{")
+	end := strings.LastIndex(text, "}")
+	if start < 0 || end <= start {
+		return nil, fmt.Errorf("luna: planner returned no JSON object: %q", truncate(text, 120))
+	}
+	var p LogicalPlan
+	if err := json.Unmarshal([]byte(text[start:end+1]), &p); err != nil {
+		return nil, fmt.Errorf("luna: plan JSON invalid: %w", err)
+	}
+	return &p, nil
+}
+
+// String renders a human-readable plan summary (one line per operator).
+func (p *LogicalPlan) String() string {
+	var sb strings.Builder
+	for i, op := range p.Ops {
+		fmt.Fprintf(&sb, "%d. %s", i+1, op.Describe())
+		if i < len(p.Ops)-1 {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// Describe renders one operator for plan display.
+func (op LogicalOp) Describe() string {
+	switch op.Op {
+	case OpQueryDatabase:
+		parts := []string{}
+		if op.Keyword != "" {
+			parts = append(parts, fmt.Sprintf("keyword=%q", op.Keyword))
+		}
+		for _, f := range op.Filters {
+			parts = append(parts, fmt.Sprintf("%s %s %v", f.Field, f.Kind, f.Value))
+		}
+		if len(parts) == 0 {
+			parts = append(parts, "scan all")
+		}
+		return "queryDatabase(" + strings.Join(parts, ", ") + ")"
+	case OpQueryVectorDatabase:
+		return fmt.Sprintf("queryVectorDatabase(%q, k=%d)", op.Query, op.K)
+	case OpBasicFilter:
+		parts := make([]string, len(op.Filters))
+		for i, f := range op.Filters {
+			parts[i] = fmt.Sprintf("%s %s %v", f.Field, f.Kind, f.Value)
+		}
+		return "basicFilter(" + strings.Join(parts, " AND ") + ")"
+	case OpLLMFilter:
+		return fmt.Sprintf("llmFilter(%q)", op.Question)
+	case OpLLMExtract:
+		names := make([]string, len(op.Fields))
+		for i, f := range op.Fields {
+			names[i] = f.Name
+		}
+		return "llmExtract(" + strings.Join(names, ", ") + ")"
+	case OpGroupByAggregate:
+		if op.Agg == "count" {
+			return fmt.Sprintf("groupByAggregate(by=%s, count)", op.Key)
+		}
+		return fmt.Sprintf("groupByAggregate(by=%s, %s(%s))", op.Key, op.Agg, op.ValueField)
+	case OpLLMCluster:
+		return fmt.Sprintf("llmCluster(k=%d)", op.K)
+	case OpTopK:
+		return fmt.Sprintf("topK(%s, k=%d)", op.Field, op.K)
+	case OpCount:
+		return "count()"
+	case OpFraction:
+		return fmt.Sprintf("fraction(%q)", op.Question)
+	case OpLimit:
+		return fmt.Sprintf("limit(%d)", op.K)
+	case OpProject:
+		return "project(" + strings.Join(op.ProjectFields, ", ") + ")"
+	case OpLLMGenerate:
+		return fmt.Sprintf("llmGenerate(%q)", op.Instruction)
+	default:
+		return op.Op + "(?)"
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

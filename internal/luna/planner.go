@@ -1,0 +1,87 @@
+package luna
+
+import (
+	"context"
+	"fmt"
+
+	"aryn/internal/llm"
+)
+
+// Planner turns natural-language questions into validated, optimized
+// logical plans by prompting the LLM (§6.1 Query Planning).
+type Planner struct {
+	// Client is the planning model.
+	Client llm.Client
+	// Schema describes the queryable DocSet.
+	Schema Schema
+	// Rewrites configures plan optimization.
+	Rewrites RewriteOptions
+	// MaxRepairs bounds re-planning attempts after validation failures.
+	MaxRepairs int
+}
+
+// NewPlanner builds a planner with default rewrites.
+func NewPlanner(client llm.Client, schema Schema) *Planner {
+	return &Planner{Client: client, Schema: schema, Rewrites: DefaultRewrites(), MaxRepairs: 1}
+}
+
+// Plan produces the raw and rewritten plans for a question. On validation
+// failure it re-prompts once with the validator's feedback appended —
+// the "check that it is semantically valid" loop of §6.1.
+func (p *Planner) Plan(ctx context.Context, question string) (raw, rewritten *LogicalPlan, err error) {
+	prompt := BuildPlanPrompt(p.Schema, question)
+	for attempt := 0; ; attempt++ {
+		resp, cerr := p.Client.Complete(ctx, llm.Request{Prompt: prompt})
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("luna: planning call: %w", cerr)
+		}
+		plan, perr := ParsePlan(resp.Text)
+		if perr == nil {
+			perr = Validate(plan, p.Schema)
+		}
+		if perr == nil {
+			return plan, Rewrite(plan, p.Rewrites), nil
+		}
+		if attempt >= p.MaxRepairs {
+			return nil, nil, fmt.Errorf("luna: plan for %q failed validation: %w", question, perr)
+		}
+		prompt += fmt.Sprintf("\nYour previous plan was invalid (%v). Emit a corrected JSON plan.\n", perr)
+	}
+}
+
+// Service bundles planning and execution into the end-to-end query API.
+type Service struct {
+	Planner  *Planner
+	Executor *Executor
+}
+
+// Ask plans, validates, optimizes, compiles, and executes the question.
+func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
+	raw, rewritten, err := s.Planner.Plan(ctx, question)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Executor.Run(ctx, rewritten)
+	if err != nil {
+		return nil, err
+	}
+	res.Question = question
+	res.Plan = raw
+	res.Rewritten = rewritten
+	return res, nil
+}
+
+// RunPlan executes a user-edited plan directly (the §6.2 "modify any part
+// of the plan" path), bypassing the planner but not validation.
+func (s *Service) RunPlan(ctx context.Context, question string, plan *LogicalPlan) (*Result, error) {
+	if err := Validate(plan, s.Planner.Schema); err != nil {
+		return nil, err
+	}
+	res, err := s.Executor.Run(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Question = question
+	res.Plan = plan
+	return res, nil
+}

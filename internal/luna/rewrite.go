@@ -1,0 +1,138 @@
+package luna
+
+// RewriteOptions toggles individual rewrite rules, primarily for the
+// ablation benchmarks.
+type RewriteOptions struct {
+	// FuseExtracts merges consecutive llmExtract operators into one LLM
+	// call per document (§6.1's example rewrite).
+	FuseExtracts bool
+	// PushFilters merges basicFilter predicates into the root
+	// queryDatabase so the index evaluates them during the scan.
+	PushFilters bool
+	// DropDuplicateFilters removes repeated identical llmFilter questions.
+	DropDuplicateFilters bool
+	// DedupByAccident inserts a distinct-by-accident-number step before
+	// counting operators. The paper identifies the *absence* of this step
+	// as the source of Luna's counting errors (§7.2), so it is OFF by
+	// default; the ablation bench turns it on.
+	DedupByAccident bool
+	// DedupField is the identity field DedupByAccident uses.
+	DedupField string
+}
+
+// DefaultRewrites returns the rule set Luna runs in production mode.
+func DefaultRewrites() RewriteOptions {
+	return RewriteOptions{FuseExtracts: true, PushFilters: true, DropDuplicateFilters: true}
+}
+
+// Rewrite applies rule-based plan optimization (§6.1) and returns a new
+// plan; the input is not modified.
+func Rewrite(plan *LogicalPlan, opts RewriteOptions) *LogicalPlan {
+	ops := append([]LogicalOp(nil), plan.Ops...)
+
+	if opts.FuseExtracts {
+		ops = fuseExtracts(ops)
+	}
+	if opts.PushFilters {
+		ops = pushFilters(ops)
+	}
+	if opts.DropDuplicateFilters {
+		ops = dropDuplicateFilters(ops)
+	}
+	if opts.DedupByAccident {
+		field := opts.DedupField
+		if field == "" {
+			field = "accidentNumber"
+		}
+		ops = insertDedup(ops, field)
+	}
+	return &LogicalPlan{Ops: ops}
+}
+
+// fuseExtracts merges runs of consecutive llmExtract operators.
+func fuseExtracts(ops []LogicalOp) []LogicalOp {
+	var out []LogicalOp
+	for _, op := range ops {
+		if op.Op == OpLLMExtract && len(out) > 0 && out[len(out)-1].Op == OpLLMExtract {
+			prev := &out[len(out)-1]
+			seen := map[string]bool{}
+			for _, f := range prev.Fields {
+				seen[f.Name] = true
+			}
+			for _, f := range op.Fields {
+				if !seen[f.Name] {
+					prev.Fields = append(prev.Fields, f)
+				}
+			}
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// pushFilters folds basicFilter predicates that immediately follow the
+// root scan into the scan itself.
+func pushFilters(ops []LogicalOp) []LogicalOp {
+	if len(ops) < 2 || ops[0].Op != OpQueryDatabase {
+		return ops
+	}
+	out := []LogicalOp{ops[0]}
+	i := 1
+	for ; i < len(ops) && ops[i].Op == OpBasicFilter; i++ {
+		out[0].Filters = append(out[0].Filters, ops[i].Filters...)
+	}
+	out = append(out, ops[i:]...)
+	return out
+}
+
+// dropDuplicateFilters removes llmFilter ops repeating an earlier question.
+func dropDuplicateFilters(ops []LogicalOp) []LogicalOp {
+	seen := map[string]bool{}
+	var out []LogicalOp
+	for _, op := range ops {
+		if op.Op == OpLLMFilter {
+			if seen[op.Question] {
+				continue
+			}
+			seen[op.Question] = true
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// insertDedup places a distinct step before the first counting operator
+// (count, fraction, or a count-aggregation).
+func insertDedup(ops []LogicalOp, field string) []LogicalOp {
+	for i, op := range ops {
+		countLike := op.Op == OpCount || op.Op == OpFraction ||
+			(op.Op == OpGroupByAggregate && op.Agg == "count")
+		if countLike {
+			out := make([]LogicalOp, 0, len(ops)+1)
+			out = append(out, ops[:i]...)
+			out = append(out, LogicalOp{Op: opDistinct, Field: field})
+			out = append(out, ops[i:]...)
+			return out
+		}
+	}
+	return ops
+}
+
+// opDistinct is internal (rewriter-inserted, never planner-emitted).
+const opDistinct = "distinct"
+
+// ExtractFieldsUsed counts LLM calls a plan will make per input document —
+// used by the rewrite ablation to show fused plans cost fewer calls.
+func ExtractFieldsUsed(plan *LogicalPlan) (extractOps, llmOpsPerDoc int) {
+	for _, op := range plan.Ops {
+		switch op.Op {
+		case OpLLMExtract:
+			extractOps++
+			llmOpsPerDoc++
+		case OpLLMFilter:
+			llmOpsPerDoc++
+		}
+	}
+	return extractOps, llmOpsPerDoc
+}

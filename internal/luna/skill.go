@@ -1,0 +1,83 @@
+package luna
+
+import (
+	"math/rand"
+	"strings"
+
+	"aryn/internal/llm"
+)
+
+// BuildPlanPrompt assembles the planning prompt exactly as §6.1
+// prescribes: the DocSet schema with examples, the logical operator
+// catalogue, few-shot example plans, and the user question, with an
+// instruction to emit JSON.
+func BuildPlanPrompt(schema Schema, question string) string {
+	var sb strings.Builder
+	sb.WriteString(llm.TaskPlan + "\n")
+	sb.WriteString("You are a query planner. Decompose the user question into a JSON plan over the logical operators below. Respond with a single JSON object {\"ops\": [...]}.\n")
+	sb.WriteString(schema.PromptBlock())
+	sb.WriteString(operatorCatalogue)
+	sb.WriteString(fewShotExamples)
+	sb.WriteString("QUESTION: " + question + "\n")
+	return sb.String()
+}
+
+const operatorCatalogue = `OPERATORS:
+- queryDatabase(filters, keyword): scan the index with property filters and/or keyword search
+- queryVectorDatabase(query, k): semantic search over document chunks
+- basicFilter(filters): property predicate on the current set
+- llmFilter(question): keep documents for which the LLM answers yes
+- llmExtract(fields): extract new properties from document text
+- groupByAggregate(key, agg, value_field): group and aggregate (count/sum/avg/min/max)
+- llmCluster(k): k-means cluster documents by semantic similarity
+- topK(field, k): keep the k documents with the largest field value
+- count(): count documents
+- fraction(question): fraction of current documents satisfying the predicate
+- limit(n) / project(project_fields) / llmGenerate(instruction)
+`
+
+const fewShotExamples = `EXAMPLES:
+Q: How many incidents were there in Kentucky?
+A: {"ops":[{"op":"queryDatabase","filters":[{"field":"us_state","kind":"term","value":"KY"}]},{"op":"count"}]}
+Q: What was the most commonly damaged part of the aircraft?
+A: {"ops":[{"op":"queryDatabase"},{"op":"llmExtract","fields":[{"name":"damaged_part","type":"string"}]},{"op":"groupByAggregate","key":"damaged_part","agg":"count"},{"op":"topK","field":"value","k":1}]}
+Q: Which incidents involved lightning strikes?
+A: {"ops":[{"op":"queryDatabase"},{"op":"llmFilter","question":"Does the document indicate lightning strikes?"},{"op":"project","project_fields":["accidentNumber"]}]}
+`
+
+// PlannerSkill is the query-planning capability registered on the Sim
+// model. It answers TaskPlan prompts by running the semantic parser over
+// the schema and question found in the prompt — using only information
+// the prompt carries, like a hosted model would.
+type PlannerSkill struct{}
+
+// Match reports whether the request is a planning prompt.
+func (PlannerSkill) Match(req llm.Request) bool {
+	return strings.HasPrefix(req.Prompt, llm.TaskPlan)
+}
+
+// Run parses the prompt's schema and question and emits the plan JSON.
+func (PlannerSkill) Run(_ *rand.Rand, req llm.Request) (string, error) {
+	schema := parseSchemaBlock(req.Prompt)
+	question := promptQuestion(req.Prompt)
+	p := &parser{schema: schema}
+	plan, err := p.Parse(question)
+	if err != nil {
+		return `{"ops":[]}`, nil // models emit degenerate plans, not errors
+	}
+	return plan.JSON(), nil
+}
+
+func promptQuestion(prompt string) string {
+	idx := strings.LastIndex(prompt, "QUESTION: ")
+	if idx < 0 {
+		return ""
+	}
+	q := prompt[idx+len("QUESTION: "):]
+	if nl := strings.Index(q, "\n"); nl >= 0 {
+		q = q[:nl]
+	}
+	return strings.TrimSpace(q)
+}
+
+var _ llm.Skill = PlannerSkill{}

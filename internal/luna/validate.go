@@ -1,0 +1,136 @@
+package luna
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidPlan wraps all plan validation failures.
+var ErrInvalidPlan = errors.New("luna: invalid plan")
+
+// Validate checks a planner-produced plan both syntactically (known
+// operators, required parameters) and semantically (filter and group-by
+// fields must exist in the schema or be produced by an earlier llmExtract)
+// — the §6.1 validation step that catches LLM hallucinations before
+// execution.
+func Validate(plan *LogicalPlan, schema Schema) error {
+	if plan == nil || len(plan.Ops) == 0 {
+		return fmt.Errorf("%w: empty plan", ErrInvalidPlan)
+	}
+	if first := plan.Ops[0].Op; first != OpQueryDatabase && first != OpQueryVectorDatabase {
+		return fmt.Errorf("%w: plan must start with a query operator, got %q", ErrInvalidPlan, first)
+	}
+	known := map[string]bool{}
+	for _, f := range schema.Fields {
+		known[f.Name] = true
+	}
+	// Fields materialized by earlier operators become valid downstream.
+	addExtracted := func(op LogicalOp) {
+		for _, f := range op.Fields {
+			known[f.Name] = true
+		}
+		if op.Op == OpGroupByAggregate {
+			known["value"] = true
+			known["count"] = true
+		}
+		if op.Op == OpLLMCluster {
+			known["cluster_id"] = true
+			known["cluster_label"] = true
+		}
+	}
+
+	for i, op := range plan.Ops {
+		switch op.Op {
+		case OpQueryDatabase:
+			if i != 0 {
+				return fmt.Errorf("%w: op %d: queryDatabase must be the plan root", ErrInvalidPlan, i+1)
+			}
+			if err := validFilters(op.Filters, known); err != nil {
+				return err
+			}
+		case OpQueryVectorDatabase:
+			if i != 0 {
+				return fmt.Errorf("%w: op %d: queryVectorDatabase must be the plan root", ErrInvalidPlan, i+1)
+			}
+			if op.Query == "" {
+				return fmt.Errorf("%w: queryVectorDatabase requires a query", ErrInvalidPlan)
+			}
+		case OpBasicFilter:
+			if err := validFilters(op.Filters, known); err != nil {
+				return err
+			}
+		case OpLLMFilter:
+			if op.Question == "" {
+				return fmt.Errorf("%w: op %d: llmFilter requires a question", ErrInvalidPlan, i+1)
+			}
+		case OpLLMExtract:
+			if len(op.Fields) == 0 {
+				return fmt.Errorf("%w: op %d: llmExtract requires fields", ErrInvalidPlan, i+1)
+			}
+			addExtracted(op)
+		case OpGroupByAggregate:
+			if op.Key != "" && !known[op.Key] {
+				return fmt.Errorf("%w: op %d: group key %q not in schema", ErrInvalidPlan, i+1, op.Key)
+			}
+			switch op.Agg {
+			case "count":
+			case "sum", "avg", "min", "max":
+				if op.ValueField == "" || !known[op.ValueField] {
+					return fmt.Errorf("%w: op %d: aggregate field %q not in schema", ErrInvalidPlan, i+1, op.ValueField)
+				}
+			default:
+				return fmt.Errorf("%w: op %d: unknown aggregation %q", ErrInvalidPlan, i+1, op.Agg)
+			}
+			addExtracted(op)
+		case OpLLMCluster:
+			if op.K <= 0 {
+				return fmt.Errorf("%w: op %d: llmCluster requires k > 0", ErrInvalidPlan, i+1)
+			}
+			addExtracted(op)
+		case OpTopK:
+			if op.K <= 0 || op.Field == "" {
+				return fmt.Errorf("%w: op %d: topK requires field and k > 0", ErrInvalidPlan, i+1)
+			}
+			if !known[op.Field] {
+				return fmt.Errorf("%w: op %d: topK field %q not in schema", ErrInvalidPlan, i+1, op.Field)
+			}
+		case OpCount, OpFraction, OpLLMGenerate:
+			if i != len(plan.Ops)-1 {
+				return fmt.Errorf("%w: op %d: %s must be the terminal operator", ErrInvalidPlan, i+1, op.Op)
+			}
+		case OpLimit:
+			if op.K <= 0 {
+				return fmt.Errorf("%w: op %d: limit requires n > 0", ErrInvalidPlan, i+1)
+			}
+		case OpProject:
+			if len(op.ProjectFields) == 0 {
+				return fmt.Errorf("%w: op %d: project requires fields", ErrInvalidPlan, i+1)
+			}
+			for _, f := range op.ProjectFields {
+				if !known[f] {
+					return fmt.Errorf("%w: op %d: projected field %q not in schema", ErrInvalidPlan, i+1, f)
+				}
+			}
+		default:
+			return fmt.Errorf("%w: op %d: unknown operator %q", ErrInvalidPlan, i+1, op.Op)
+		}
+	}
+	return nil
+}
+
+func validFilters(filters []FilterSpec, known map[string]bool) error {
+	for _, f := range filters {
+		if f.Field == "" {
+			return fmt.Errorf("%w: filter missing field", ErrInvalidPlan)
+		}
+		if !known[f.Field] {
+			return fmt.Errorf("%w: filter field %q not in schema", ErrInvalidPlan, f.Field)
+		}
+		switch f.Kind {
+		case "term", "contains", "gte", "lte":
+		default:
+			return fmt.Errorf("%w: unknown filter kind %q", ErrInvalidPlan, f.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package qa
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"aryn/internal/core"
+	"aryn/internal/luna"
+	"aryn/internal/ntsb"
+)
+
+// Record is the outcome of one question under one system.
+type Record struct {
+	Question Question
+	Answer   luna.Answer
+	GT       luna.Answer
+	Verdict  Verdict
+	Category ErrorCategory // Luna only
+	Plan     *luna.LogicalPlan
+	Err      error
+}
+
+// Tally is one Table 4 column.
+type Tally struct {
+	Correct   int
+	Incorrect int
+	Refusal   int
+	// ByCategory breaks the incorrect answers down (Luna column).
+	ByCategory map[ErrorCategory]int
+}
+
+func (t Tally) total() int { return t.Correct + t.Incorrect + t.Refusal }
+
+// Table4 is the full Luna-vs-RAG comparison.
+type Table4 struct {
+	Luna        Tally
+	RAG         Tally
+	LunaRecords []Record
+	RAGRecords  []Record
+}
+
+// RunLuna evaluates every benchmark question through Luna.
+func RunLuna(ctx context.Context, sys *core.System, corpus *ntsb.Corpus) ([]Record, Tally, error) {
+	tally := Tally{ByCategory: map[ErrorCategory]int{}}
+	var records []Record
+	for _, q := range Questions(corpus) {
+		gt := q.GT(corpus)
+		rec := Record{Question: q, GT: gt}
+		res, err := sys.Query.Ask(ctx, q.Text)
+		if err != nil {
+			rec.Err = err
+			rec.Verdict = Incorrect
+			rec.Category = ErrOther
+		} else {
+			rec.Answer = res.Answer
+			rec.Plan = res.Rewritten
+			rec.Verdict = Grade(q, res.Answer, gt)
+			if rec.Verdict == Incorrect {
+				rec.Category = Classify(q, res.Answer, corpus, res.Rewritten)
+			}
+		}
+		switch rec.Verdict {
+		case Correct:
+			tally.Correct++
+		case Refusal:
+			tally.Refusal++
+		default:
+			tally.Incorrect++
+			tally.ByCategory[rec.Category]++
+		}
+		records = append(records, rec)
+	}
+	return records, tally, nil
+}
+
+// RunRAG evaluates every benchmark question through the RAG baseline.
+func RunRAG(ctx context.Context, sys *core.System, corpus *ntsb.Corpus) ([]Record, Tally, error) {
+	tally := Tally{ByCategory: map[ErrorCategory]int{}}
+	var records []Record
+	for _, q := range Questions(corpus) {
+		gt := q.GT(corpus)
+		rec := Record{Question: q, GT: gt}
+		resp, err := sys.AskRAG(ctx, q.Text)
+		if err != nil {
+			rec.Err = err
+			rec.Verdict = Incorrect
+		} else {
+			rec.Answer = ParseRAGAnswer(q, resp.Answer, resp.Text, resp.Refused)
+			rec.Verdict = Grade(q, rec.Answer, gt)
+		}
+		switch rec.Verdict {
+		case Correct:
+			tally.Correct++
+		case Refusal:
+			tally.Refusal++
+		default:
+			tally.Incorrect++
+		}
+		records = append(records, rec)
+	}
+	return records, tally, nil
+}
+
+// RunTable4 runs the full comparison.
+func RunTable4(ctx context.Context, sys *core.System, corpus *ntsb.Corpus) (*Table4, error) {
+	lunaRecs, lunaTally, err := RunLuna(ctx, sys, corpus)
+	if err != nil {
+		return nil, err
+	}
+	ragRecs, ragTally, err := RunRAG(ctx, sys, corpus)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4{Luna: lunaTally, RAG: ragTally, LunaRecords: lunaRecs, RAGRecords: ragRecs}, nil
+}
+
+// Format renders the comparison in the paper's Table 4 layout.
+func (t *Table4) Format() string {
+	var sb strings.Builder
+	pct := func(n, total int) string { return fmt.Sprintf("%d (%.1f%%)", n, 100*float64(n)/float64(total)) }
+	fmt.Fprintf(&sb, "%-12s %-14s %-14s\n", "", "Luna", "RAG")
+	fmt.Fprintf(&sb, "%-12s %-14s %-14s\n", "Correct", pct(t.Luna.Correct, t.Luna.total()), pct(t.RAG.Correct, t.RAG.total()))
+	fmt.Fprintf(&sb, "%-12s %-14s %-14s\n", "Incorrect", pct(t.Luna.Incorrect, t.Luna.total()), pct(t.RAG.Incorrect, t.RAG.total()))
+	fmt.Fprintf(&sb, "%-12s %-14s %-14s\n", "Refusal", pct(t.Luna.Refusal, t.Luna.total()), pct(t.RAG.Refusal, t.RAG.total()))
+	fmt.Fprintf(&sb, "%-12s %-14d %-14d\n", "Total", t.Luna.total(), t.RAG.total())
+	if len(t.Luna.ByCategory) > 0 {
+		sb.WriteString("\nLuna error taxonomy (§7.2):\n")
+		for _, cat := range []ErrorCategory{ErrCounting, ErrFilter, ErrInterpretation, ErrOther} {
+			if n := t.Luna.ByCategory[cat]; n > 0 {
+				fmt.Fprintf(&sb, "  %-16s %d\n", cat, n)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Detail renders per-question outcomes for both systems.
+func (t *Table4) Detail() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-3s %-9s %-10s %-9s %s\n", "Q", "Luna", "category", "RAG", "question")
+	for i := range t.LunaRecords {
+		lr, rr := t.LunaRecords[i], t.RAGRecords[i]
+		fmt.Fprintf(&sb, "%-3d %-9s %-10s %-9s %s\n",
+			lr.Question.ID, lr.Verdict, string(lr.Category), rr.Verdict, truncateTo(lr.Question.Text, 70))
+	}
+	return sb.String()
+}
+
+func truncateTo(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,384 @@
+// Package qa implements the §7 evaluation: the 30-question NTSB analytics
+// benchmark, ground-truth computation at accident granularity, mechanical
+// graders for every answer shape, and the harness that regenerates
+// Table 4 (Luna vs. RAG) with the paper's error taxonomy.
+package qa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"aryn/internal/luna"
+	"aryn/internal/ntsb"
+)
+
+// Kind is the expected answer shape of a benchmark question.
+type Kind string
+
+// Question kinds.
+const (
+	KindCount     Kind = "count"
+	KindBreakdown Kind = "breakdown"
+	KindFraction  Kind = "fraction"
+	KindTop       Kind = "top"
+	KindList      Kind = "list"
+	KindNumber    Kind = "number" // avg/max style
+	KindText      Kind = "text"
+)
+
+// Question is one benchmark item with programmatic ground truth.
+type Question struct {
+	ID   int
+	Text string
+	Kind Kind
+	// GT computes the correct answer at accident granularity (distinct
+	// accident numbers), the unit "how many incidents" should count.
+	GT func(c *ntsb.Corpus) luna.Answer
+	// ReportGT computes the naive report-granularity answer, used to
+	// classify counting errors (nil when identical to GT).
+	ReportGT func(c *ntsb.Corpus) luna.Answer
+	// Keywords grade text answers: all must appear (case-insensitive).
+	Keywords []string
+	// Tolerance for numeric comparison (0 = exact; fractions use 0.02).
+	Tolerance float64
+}
+
+// accident groups the reports belonging to one accident number.
+type accident []*ntsb.Incident
+
+func accidents(c *ntsb.Corpus) []accident {
+	byNum := map[string]accident{}
+	var order []string
+	for i := range c.Incidents {
+		in := &c.Incidents[i]
+		if _, ok := byNum[in.AccidentNumber]; !ok {
+			order = append(order, in.AccidentNumber)
+		}
+		byNum[in.AccidentNumber] = append(byNum[in.AccidentNumber], in)
+	}
+	out := make([]accident, 0, len(order))
+	for _, n := range order {
+		out = append(out, byNum[n])
+	}
+	return out
+}
+
+func (a accident) any(pred func(*ntsb.Incident) bool) bool {
+	for _, in := range a {
+		if pred(in) {
+			return true
+		}
+	}
+	return false
+}
+
+// countAcc counts accidents where any involved aircraft matches.
+func countAcc(c *ntsb.Corpus, pred func(*ntsb.Incident) bool) int {
+	n := 0
+	for _, a := range accidents(c) {
+		if a.any(pred) {
+			n++
+		}
+	}
+	return n
+}
+
+// countRep counts report documents matching — the naive count a plan
+// without deduplication produces.
+func countRep(c *ntsb.Corpus, pred func(*ntsb.Incident) bool) int {
+	n := 0
+	for i := range c.Incidents {
+		if pred(&c.Incidents[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+func countAnswer(n int) luna.Answer { return luna.NumberAnswer(float64(n)) }
+
+// breakdownAcc groups accidents by a key of the first member (pairs share
+// state/month) and counts.
+func breakdownAcc(c *ntsb.Corpus, key func(*ntsb.Incident) string) luna.Answer {
+	t := map[string]float64{}
+	for _, a := range accidents(c) {
+		t[key(a[0])]++
+	}
+	return luna.TableAnswer(t)
+}
+
+// partCounts tallies damaged parts over matching reports (each aircraft
+// damages its own part, so part statistics are report-granularity).
+func partCounts(c *ntsb.Corpus, pred func(*ntsb.Incident) bool) map[string]int {
+	t := map[string]int{}
+	for i := range c.Incidents {
+		in := &c.Incidents[i]
+		if pred(in) {
+			t[in.DamagedPart]++
+		}
+	}
+	return t
+}
+
+// topParts returns the k most common parts (deterministic tie-break).
+func topParts(counts map[string]int, k int) []string {
+	type kv struct {
+		part string
+		n    int
+	}
+	all := make([]kv, 0, len(counts))
+	for p, n := range counts {
+		all = append(all, kv{p, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].part < all[j].part
+	})
+	var out []string
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, all[i].part)
+	}
+	return out
+}
+
+func causeKeywords(cause ntsb.Cause) []string {
+	switch cause {
+	case ntsb.CauseEngine:
+		return []string{"engine"}
+	case ntsb.CauseFuel:
+		return []string{"fuel"}
+	case ntsb.CausePilot:
+		return []string{"control"}
+	case ntsb.CauseWeather:
+		return []string{"wind"}
+	case ntsb.CauseBird:
+		return []string{"birds"}
+	case ntsb.CauseMaintenance:
+		return []string{"maintenance"}
+	case ntsb.CauseMidair:
+		return []string{"midair"}
+	default:
+		return []string{"undetermined"}
+	}
+}
+
+// Questions builds the 30-question benchmark for the given corpus (one
+// question references a concrete accident number from it).
+func Questions(c *ntsb.Corpus) []Question {
+	// A stable single-aircraft accident for the lookup question.
+	lookupAcc := &c.Incidents[0]
+	for i := range c.Incidents {
+		if c.Incidents[i].Cause != ntsb.CauseMidair {
+			lookupAcc = &c.Incidents[i]
+			break
+		}
+	}
+
+	isSubstantial := func(in *ntsb.Incident) bool { return in.Damage == "Substantial" }
+	isEngine := func(in *ntsb.Incident) bool { return in.Cause == ntsb.CauseEngine }
+
+	return []Question{
+		{ID: 1, Text: "How many incidents were there by state?", Kind: KindBreakdown,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return breakdownAcc(c, func(in *ntsb.Incident) string { return in.StateAbbrev() })
+			},
+			ReportGT: func(c *ntsb.Corpus) luna.Answer {
+				t := map[string]float64{}
+				for i := range c.Incidents {
+					t[c.Incidents[i].StateAbbrev()]++
+				}
+				return luna.TableAnswer(t)
+			}},
+		{ID: 2, Text: "How many incidents involved substantial damage?", Kind: KindCount,
+			GT:       func(c *ntsb.Corpus) luna.Answer { return countAnswer(countAcc(c, isSubstantial)) },
+			ReportGT: func(c *ntsb.Corpus) luna.Answer { return countAnswer(countRep(c, isSubstantial)) }},
+		{ID: 3, Text: "How many incidents were there in Hawaii?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.State == "Hawaii" }))
+			}},
+		{ID: 4, Text: "Which incidents occurred in July involving birds?", Kind: KindList,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				var ids []string
+				for _, a := range accidents(c) {
+					if a.any(func(in *ntsb.Incident) bool { return in.BirdStrike && in.Date.Month() == time.July }) {
+						ids = append(ids, a[0].AccidentNumber)
+					}
+				}
+				return luna.ListAnswer(ids...)
+			}},
+		{ID: 5, Text: "How many incidents were due to engine problems?", Kind: KindCount,
+			GT:       func(c *ntsb.Corpus) luna.Answer { return countAnswer(countAcc(c, isEngine)) },
+			ReportGT: func(c *ntsb.Corpus) luna.Answer { return countAnswer(countRep(c, isEngine)) }},
+		{ID: 6, Text: "What fraction of incidents that resulted in substantial damage were due to engine problems?", Kind: KindFraction, Tolerance: 0.02,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				den := countAcc(c, isSubstantial)
+				num := countAcc(c, func(in *ntsb.Incident) bool { return isSubstantial(in) && isEngine(in) })
+				if den == 0 {
+					return luna.NumberAnswer(0)
+				}
+				return luna.NumberAnswer(float64(num) / float64(den))
+			}},
+		{ID: 7, Text: "In incidents involving Piper aircraft, what was the most commonly damaged part of the aircraft?", Kind: KindTop,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				counts := partCounts(c, func(in *ntsb.Incident) bool { return in.Manufacturer == "Piper" })
+				return luna.ListAnswer(topParts(counts, 1)...)
+			}},
+		{ID: 8, Text: "How many incidents were there, broken down by number of engines?", Kind: KindBreakdown,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return breakdownAcc(c, func(in *ntsb.Incident) string { return fmt.Sprintf("%d", in.Engines) })
+			},
+			ReportGT: func(c *ntsb.Corpus) luna.Answer {
+				t := map[string]float64{}
+				for i := range c.Incidents {
+					t[fmt.Sprintf("%d", c.Incidents[i].Engines)]++
+				}
+				return luna.TableAnswer(t)
+			}},
+		{ID: 9, Text: "What was the breakdown of incident causes by aircraft manufacturer?", Kind: KindBreakdown,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				t := map[string]float64{}
+				for _, a := range accidents(c) {
+					seen := map[string]bool{}
+					for _, in := range a {
+						if !seen[in.Manufacturer] {
+							seen[in.Manufacturer] = true
+							t[in.Manufacturer]++
+						}
+					}
+				}
+				return luna.TableAnswer(t)
+			}},
+		{ID: 10, Text: "How many incidents resulted in fatalities?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Fatal > 0 }))
+			},
+			ReportGT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countRep(c, func(in *ntsb.Incident) bool { return in.Fatal > 0 }))
+			}},
+		{ID: 11, Text: "How many incidents occurred in each month?", Kind: KindBreakdown,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return breakdownAcc(c, func(in *ntsb.Incident) string { return in.Month() })
+			},
+			ReportGT: func(c *ntsb.Corpus) luna.Answer {
+				t := map[string]float64{}
+				for i := range c.Incidents {
+					t[c.Incidents[i].Month()]++
+				}
+				return luna.TableAnswer(t)
+			}},
+		{ID: 12, Text: "Which state had the most incidents?", Kind: KindTop,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				t := map[string]int{}
+				for _, a := range accidents(c) {
+					t[a[0].StateAbbrev()]++
+				}
+				return luna.ListAnswer(topParts(t, 1)...)
+			}},
+		{ID: 13, Text: "How many incidents involved helicopters?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Category == "Helicopter" }))
+			}},
+		{ID: 14, Text: "How many aircraft were destroyed due to an accident?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Damage == "Destroyed" }))
+			}},
+		{ID: 15, Text: "How many incidents involved student pilots?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.StudentPilot }))
+			}},
+		{ID: 16, Text: "How many incidents occurred at night?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Night }))
+			}},
+		{ID: 17, Text: "How many incidents involved a post-crash fire?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Fire }))
+			}},
+		{ID: 18, Text: "How many incidents occurred in instrument meteorological conditions?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return strings.Contains(in.Conditions, "IMC") }))
+			}},
+		{ID: 19, Text: "How many flights were conducted under Part 137?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return strings.Contains(in.PartRegulation, "137") }))
+			}},
+		{ID: 20, Text: "What was the average total flight time of pilots in fatal incidents?", Kind: KindNumber, Tolerance: 0.02,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				sum, n := 0.0, 0
+				for i := range c.Incidents {
+					if c.Incidents[i].Fatal > 0 {
+						sum += float64(c.Incidents[i].PilotHours)
+						n++
+					}
+				}
+				if n == 0 {
+					return luna.NumberAnswer(0)
+				}
+				return luna.NumberAnswer(sum / float64(n))
+			}},
+		{ID: 21, Text: "What was the maximum wind speed recorded, in knots?", Kind: KindNumber,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				maxW := 0
+				for i := range c.Incidents {
+					if c.Incidents[i].WindSpeed > maxW {
+						maxW = c.Incidents[i].WindSpeed
+					}
+				}
+				return luna.NumberAnswer(float64(maxW))
+			}},
+		// The NTSB "defining event" semantics: a fuel-exhaustion accident's
+		// engine also stops, but the event is Fuel related, not Loss of
+		// engine power. An llmFilter cannot make that distinction from the
+		// narrative — the §7.2 generosity failure in its purest form.
+		{ID: 22, Text: "How many incidents were caused by a loss of engine power?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, isEngine))
+			}},
+		{ID: 23, Text: "How many incidents were due to midair collisions?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Cause == ntsb.CauseMidair }))
+			},
+			ReportGT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countRep(c, func(in *ntsb.Incident) bool { return in.Cause == ntsb.CauseMidair }))
+			}},
+		{ID: 24, Text: "How many incidents were there in total?", Kind: KindCount,
+			GT:       func(c *ntsb.Corpus) luna.Answer { return countAnswer(len(accidents(c))) },
+			ReportGT: func(c *ntsb.Corpus) luna.Answer { return countAnswer(len(c.Incidents)) }},
+		{ID: 25, Text: "How many incidents were caused by weather?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.WeatherRelated }))
+			}},
+		{ID: 26, Text: "How many incidents involved aircraft manufactured by Cessna?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Manufacturer == "Cessna" }))
+			}},
+		{ID: 27, Text: "List the registration numbers of aircraft that were destroyed.", Kind: KindList,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				var regs []string
+				for i := range c.Incidents {
+					if c.Incidents[i].Damage == "Destroyed" {
+						regs = append(regs, c.Incidents[i].Registration)
+					}
+				}
+				return luna.ListAnswer(regs...)
+			}},
+		{ID: 28, Text: "How many incidents involved gliders?", Kind: KindCount,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return countAnswer(countAcc(c, func(in *ntsb.Incident) bool { return in.Category == "Glider" }))
+			}},
+		{ID: 29, Text: "What are the top three most commonly damaged parts in single-engine aircraft incidents?", Kind: KindTop,
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				counts := partCounts(c, func(in *ntsb.Incident) bool { return in.Engines == 1 })
+				return luna.ListAnswer(topParts(counts, 3)...)
+			}},
+		{ID: 30, Text: "What was the probable cause of accident " + lookupAcc.AccidentNumber + "?", Kind: KindText,
+			Keywords: causeKeywords(lookupAcc.Cause),
+			GT: func(c *ntsb.Corpus) luna.Answer {
+				return luna.TextAnswer(strings.Join(causeKeywords(lookupAcc.Cause), " "))
+			}},
+	}
+}

@@ -1,0 +1,88 @@
+// Package rag implements the conventional retrieval-augmented-generation
+// baseline of §7.2: embed the question, retrieve the k nearest chunks,
+// stuff them into the LLM's context, and ask for an answer. Its failure
+// modes — context-window truncation, lost-in-the-middle attention, and
+// boilerplate poisoning — are what Table 4 measures Luna against.
+package rag
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"aryn/internal/embed"
+	"aryn/internal/index"
+	"aryn/internal/llm"
+)
+
+// Pipeline is the RAG baseline.
+type Pipeline struct {
+	// Store supplies vector retrieval over indexed chunks.
+	Store *index.Store
+	// Client answers over stuffed context.
+	Client llm.Client
+	// Embedder embeds the question (must match the ingestion embedder).
+	Embedder embed.Embedder
+	// K is the retrieval depth (the paper uses k=100).
+	K int
+}
+
+// New builds the baseline with the paper's k=100 default.
+func New(store *index.Store, client llm.Client, embedder embed.Embedder) *Pipeline {
+	return &Pipeline{Store: store, Client: client, Embedder: embedder, K: 100}
+}
+
+// Response is a RAG answer with retrieval diagnostics.
+type Response struct {
+	// Text is the model's full reply.
+	Text string
+	// Answer is the value on the final "Answer:" line ("" if absent).
+	Answer string
+	// Refused marks a model refusal (context poisoning).
+	Refused bool
+	// Retrieved is the number of chunks fetched.
+	Retrieved int
+	// PoisonedChunks counts retrieved chunks carrying the liability
+	// disclaimer.
+	PoisonedChunks int
+	// Usage is the LLM cost of the answer call.
+	Usage llm.Usage
+}
+
+// Answer runs one question through the pipeline.
+func (p *Pipeline) Answer(ctx context.Context, question string) (*Response, error) {
+	if p.K <= 0 {
+		p.K = 100
+	}
+	vec := p.Embedder.Embed(question)
+	hits := p.Store.SearchChunks(index.Query{Vector: vec, K: p.K})
+	chunks := make([]llm.RAGChunk, 0, len(hits))
+	poisoned := 0
+	for _, h := range hits {
+		chunks = append(chunks, llm.RAGChunk{DocID: h.Chunk.ParentID, Text: h.Chunk.Text})
+		if strings.Contains(strings.ToLower(h.Chunk.Text), llm.DisclaimerMarker) {
+			poisoned++
+		}
+	}
+	resp, err := p.Client.Complete(ctx, llm.Request{Prompt: llm.RAGPrompt(question, chunks)})
+	if err != nil {
+		return nil, fmt.Errorf("rag: answer: %w", err)
+	}
+	return &Response{
+		Text:           resp.Text,
+		Answer:         AnswerLine(resp.Text),
+		Refused:        resp.Refusal,
+		Retrieved:      len(chunks),
+		PoisonedChunks: poisoned,
+		Usage:          resp.Usage,
+	}, nil
+}
+
+// AnswerLine extracts the value after the final "Answer:" marker.
+func AnswerLine(text string) string {
+	idx := strings.LastIndex(text, "Answer:")
+	if idx < 0 {
+		return ""
+	}
+	return strings.TrimSpace(text[idx+len("Answer:"):])
+}
