@@ -1,0 +1,26 @@
+# Developer and CI entry points. CI (.github/workflows/ci.yml) runs the
+# same targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# Bench smoke: every benchmark compiles and completes one iteration, so
+# bench_test.go cannot silently rot. Full runs use -benchtime=default.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: build lint test bench

@@ -64,8 +64,9 @@ func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ingested: %d documents, %d chunks, %s wall, %d LLM calls (%d tokens)\n\n",
+	fmt.Printf("ingested: %d documents, %d chunks, %s wall, %d LLM calls (%d tokens)\n",
 		stats.Documents, stats.Chunks, stats.Wall.Round(1e6), stats.Usage.Calls, stats.Usage.Total())
+	fmt.Printf("llm middleware: %s\n\n", stats.LLM)
 
 	switch {
 	case demo == "schema":

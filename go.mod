@@ -1,0 +1,3 @@
+module aryn
+
+go 1.24

@@ -33,12 +33,25 @@ type Config struct {
 	LLMOptions []llm.SimOption
 	// RAGK is the baseline retrieval depth (default 100).
 	RAGK int
+	// DisableLLMCache turns off the content-addressed response cache.
+	DisableLLMCache bool
+	// LLMCacheCapacity bounds the response cache (default 4096 entries).
+	LLMCacheCapacity int
+	// LLMCachePath warm-starts the response cache from disk when set;
+	// call SaveLLMCache to persist it back.
+	LLMCachePath string
+	// LLMMaxBatch bounds the batching dispatcher (default 8; 1 disables).
+	LLMMaxBatch int
+	// LLMBatchLinger is how long an under-full batch waits for peers
+	// (default 1ms).
+	LLMBatchLinger time.Duration
 }
 
 // System is a fully wired Aryn instance.
 type System struct {
 	Config   Config
 	Sim      *llm.Sim
+	Stack    *llm.Stack
 	LLM      *llm.Meter
 	Embedder embed.Embedder
 	Store    *index.Store
@@ -50,8 +63,9 @@ type System struct {
 	RAG      *rag.Pipeline
 }
 
-// New builds a system: the Sim LLM (with Luna's planner skill
-// registered), the hash embedder, an empty store, and DocParse.
+// New builds a system: the Sim LLM (with Luna's planner skill registered)
+// behind the call-middleware stack (cache → singleflight → batcher), the
+// hash embedder, an empty store, and DocParse.
 func New(cfg Config) *System {
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = 4
@@ -61,7 +75,28 @@ func New(cfg Config) *System {
 	}
 	sim := llm.NewSim(cfg.Seed, cfg.LLMOptions...)
 	sim.Register(luna.PlannerSkill{})
-	meter := llm.NewMeter(sim)
+	stackOpts := []llm.StackOption{}
+	if cfg.DisableLLMCache {
+		stackOpts = append(stackOpts, llm.WithoutCache())
+	}
+	if cfg.LLMCacheCapacity > 0 {
+		stackOpts = append(stackOpts, llm.WithCacheCapacity(cfg.LLMCacheCapacity))
+	}
+	if cfg.LLMCachePath != "" {
+		stackOpts = append(stackOpts, llm.WithCachePersistence(cfg.LLMCachePath))
+	}
+	if cfg.LLMMaxBatch > 0 || cfg.LLMBatchLinger > 0 {
+		maxBatch, linger := cfg.LLMMaxBatch, cfg.LLMBatchLinger
+		if maxBatch <= 0 {
+			maxBatch = 8
+		}
+		if linger <= 0 {
+			linger = time.Millisecond
+		}
+		stackOpts = append(stackOpts, llm.WithBatching(maxBatch, linger))
+	}
+	stack := llm.NewStack(sim, stackOpts...)
+	meter := llm.NewMeter(stack)
 	embedder := embed.NewHash(cfg.Seed)
 	var store *index.Store
 	if cfg.HNSW {
@@ -72,6 +107,7 @@ func New(cfg Config) *System {
 	s := &System{
 		Config:   cfg,
 		Sim:      sim,
+		Stack:    stack,
 		LLM:      meter,
 		Embedder: embedder,
 		Store:    store,
@@ -121,6 +157,8 @@ type IngestStats struct {
 	Elements  int
 	Wall      time.Duration
 	Usage     llm.Usage
+	// LLM reports middleware activity (cache hits, batches) for the run.
+	LLM llm.StackStats
 }
 
 // Ingest runs the Fig. 4 ETL pipeline over raw blobs: partition with
@@ -130,6 +168,7 @@ type IngestStats struct {
 func (s *System) Ingest(ctx context.Context, blobs map[string][]byte) (*IngestStats, error) {
 	start := time.Now()
 	before := s.LLM.Usage()
+	llmBefore := s.Stack.StackStats()
 
 	ds := docset.ReadBinary(s.EC, blobs).
 		Partition(s.Parser).
@@ -160,6 +199,7 @@ func (s *System) Ingest(ctx context.Context, blobs map[string][]byte) (*IngestSt
 		Elements:  elements,
 		Wall:      time.Since(start),
 		Usage:     usage,
+		LLM:       s.Stack.StackStats().Sub(llmBefore),
 	}, nil
 }
 
@@ -174,6 +214,14 @@ func (s *System) Prepare() {
 	}
 	s.Conv = luna.NewConversation(s.Query)
 }
+
+// LLMStats snapshots the middleware counters (cache hit/miss, singleflight
+// collapses, batch sizes) accumulated since construction.
+func (s *System) LLMStats() llm.StackStats { return s.Stack.StackStats() }
+
+// SaveLLMCache persists the response cache next to the index snapshots so
+// a later process warm-starts (pair with Config.LLMCachePath).
+func (s *System) SaveLLMCache(path string) error { return s.Stack.SaveCache(path) }
 
 // Ask answers a natural-language question through Luna (conversational:
 // follow-ups resolve against the previous query).

@@ -254,3 +254,85 @@ func TestSemanticSearchEndToEnd(t *testing.T) {
 		t.Errorf("plan should use vector search:\n%s", res.Rewritten.String())
 	}
 }
+
+func TestLLMMiddlewareWiredThroughQueries(t *testing.T) {
+	sys, _ := testSystem(t)
+	ctx := context.Background()
+	question := "How many unique incidents were there in each state?"
+
+	first, err := sys.Query.Ask(ctx, question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.LLM == nil {
+		t.Fatal("Result.LLM not populated: middleware stats not wired through Luna")
+	}
+	usageBefore := sys.LLM.Usage()
+
+	second, err := sys.Query.Ask(ctx, question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.LLM == nil || second.LLM.Cache.Hits == 0 {
+		t.Fatalf("repeated query should hit the response cache, stats: %+v", second.LLM)
+	}
+	if second.Answer.Kind != first.Answer.Kind {
+		t.Errorf("cached answer kind diverged: %v vs %v", second.Answer.Kind, first.Answer.Kind)
+	}
+	// The repeat's planner call is a guaranteed hit (identical prompt), so
+	// it must not be metered as upstream spend.
+	usageAfter := sys.LLM.Usage()
+	if d := usageAfter.Calls - usageBefore.Calls; d != 0 {
+		t.Errorf("repeated query consumed %d upstream calls, want 0 (all cached)", d)
+	}
+	if second.Trace == nil || second.Trace.LLM == nil {
+		t.Fatal("execution trace missing middleware stats")
+	}
+	if !strings.Contains(second.Trace.String(), "llm middleware:") {
+		t.Error("trace rendering missing the middleware line")
+	}
+}
+
+func TestIngestReportsMiddlewareStats(t *testing.T) {
+	corpus, err := ntsb.GenerateCorpus(6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Config{Seed: 11, Parallelism: 4})
+	stats, err := sys.Ingest(context.Background(), blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.LLM.Cache.Misses; got == 0 {
+		t.Errorf("ingest should record cache misses for fresh extracts, stats: %+v", stats.LLM)
+	}
+	if sys.LLMStats().Cache.Misses == 0 {
+		t.Error("system-level middleware stats empty after ingest")
+	}
+}
+
+func TestDisabledMiddlewareStillAnswers(t *testing.T) {
+	corpus, err := ntsb.GenerateCorpus(5, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Config{Seed: 3, Parallelism: 2, DisableLLMCache: true, LLMMaxBatch: 1})
+	if _, err := sys.Ingest(context.Background(), blobs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Ask(context.Background(), "How many incidents were there?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer.Kind == "" {
+		t.Error("no answer with middleware disabled")
+	}
+}

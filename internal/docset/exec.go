@@ -73,6 +73,7 @@ type sourceSpec struct {
 func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, error) {
 	start := time.Now()
 	trace := &Trace{}
+	llmBefore, hasLLMStats := llm.StatsOf(ds.ctx.LLM)
 	traces := make([]*NodeTrace, 0, len(ds.stages)+1)
 	srcTrace := newNodeTrace(ds.source.name, ds.ctx.SampleSize)
 	traces = append(traces, srcTrace)
@@ -149,6 +150,12 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 	}
 	wg.Wait()
 	trace.Wall = time.Since(start)
+	if hasLLMStats {
+		if after, ok := llm.StatsOf(ds.ctx.LLM); ok {
+			delta := after.Sub(llmBefore)
+			trace.LLM = &delta
+		}
+	}
 
 	// Report the first real (non-cancellation) error.
 	var firstErr error

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"aryn/internal/llm"
 )
 
 // Trace is the execution lineage of one plan run: per-operator input and
@@ -15,6 +17,10 @@ type Trace struct {
 	Nodes []*NodeTrace
 	// Wall is the end-to-end execution time.
 	Wall time.Duration
+	// LLM reports call-middleware activity during this run (cache hits,
+	// singleflight collapses, batch sizes) when the context's client
+	// carries a middleware stack; nil otherwise.
+	LLM *llm.StackStats
 }
 
 // NodeTrace is the lineage record for one operator.
@@ -60,6 +66,9 @@ func (t *Trace) String() string {
 		fmt.Fprintf(&sb, "%-40s %8d %8d %8d %10s\n", truncName(n.Name, 40), n.In, n.Out, n.Retries, n.Duration.Round(time.Microsecond))
 	}
 	fmt.Fprintf(&sb, "wall time: %s\n", t.Wall.Round(time.Microsecond))
+	if t.LLM != nil {
+		fmt.Fprintf(&sb, "llm middleware: %s\n", t.LLM)
+	}
 	return sb.String()
 }
 

@@ -1,0 +1,265 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// batchCountingClient adds a recording CompleteBatch to countingClient.
+type batchCountingClient struct {
+	countingClient
+	mu         sync.Mutex
+	batchSizes []int
+}
+
+func (c *batchCountingClient) CompleteBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	c.mu.Lock()
+	c.batchSizes = append(c.batchSizes, len(reqs))
+	c.mu.Unlock()
+	resps := make([]Response, len(reqs))
+	for i, r := range reqs {
+		resp, err := c.countingClient.Complete(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			resp.Usage.Calls = 0
+		}
+		resps[i] = resp
+	}
+	return resps, nil
+}
+
+func (c *batchCountingClient) sizes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.batchSizes...)
+}
+
+// occupy keeps one slow request in flight so subsequent callers see
+// concurrency and coalesce instead of taking the sole-caller fast path.
+func occupy(t *testing.T, b *Batcher, delay time.Duration) (release func()) {
+	t.Helper()
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		if _, err := b.Complete(context.Background(), Request{Prompt: "occupier"}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	time.Sleep(delay)
+	return func() { <-done }
+}
+
+func TestBatcherFlushOnSize(t *testing.T) {
+	inner := &batchCountingClient{countingClient: countingClient{delay: 150 * time.Millisecond}}
+	// Linger far beyond the test horizon: only a size flush can deliver.
+	b := NewBatcher(inner, WithMaxBatch(4), WithLinger(time.Hour))
+	release := occupy(t, b, 30*time.Millisecond)
+
+	var wg sync.WaitGroup
+	texts := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Complete(context.Background(), Request{Prompt: fmt.Sprintf("req%d", i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			texts[i] = resp.Text
+		}(i)
+	}
+	wg.Wait()
+	release()
+
+	for i, text := range texts {
+		if want := fmt.Sprintf("echo:req%d", i); text != want {
+			t.Errorf("request %d got %q, want %q (fan-back misrouted)", i, text, want)
+		}
+	}
+	found := false
+	for _, s := range inner.sizes() {
+		if s == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("upstream batch sizes %v, want one batch of 4", inner.sizes())
+	}
+	if st := b.Stats(); st.SizeFlushes != 1 {
+		t.Errorf("size flushes = %d, want 1", st.SizeFlushes)
+	}
+}
+
+func TestBatcherFlushOnLinger(t *testing.T) {
+	inner := &batchCountingClient{countingClient: countingClient{delay: 150 * time.Millisecond}}
+	b := NewBatcher(inner, WithMaxBatch(8), WithLinger(30*time.Millisecond))
+	release := occupy(t, b, 30*time.Millisecond)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Complete(context.Background(), Request{Prompt: fmt.Sprintf("linger%d", i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	release()
+
+	// The pair is under the size bound, so only the linger timer flushed it.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("under-full batch returned in %v, before the linger window", elapsed)
+	}
+	if st := b.Stats(); st.LingerFlushes < 1 {
+		t.Errorf("linger flushes = %d, want >= 1", st.LingerFlushes)
+	}
+	found := false
+	for _, s := range inner.sizes() {
+		if s == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("upstream batch sizes %v, want one batch of 2", inner.sizes())
+	}
+}
+
+func TestBatcherSoleCallerSkipsLinger(t *testing.T) {
+	inner := &batchCountingClient{}
+	b := NewBatcher(inner, WithMaxBatch(8), WithLinger(time.Hour))
+	start := time.Now()
+	resp, err := b.Complete(context.Background(), Request{Prompt: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "echo:solo" {
+		t.Errorf("got %q", resp.Text)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("sole caller waited %v — must dispatch immediately", elapsed)
+	}
+	if st := b.Stats(); st.Batches != 1 || st.Requests != 1 {
+		t.Errorf("stats = %+v, want one batch of one request", st)
+	}
+}
+
+func TestBatcherFallbackWithoutBatchClient(t *testing.T) {
+	inner := &countingClient{delay: 100 * time.Millisecond} // no CompleteBatch
+	b := NewBatcher(inner, WithMaxBatch(4), WithLinger(time.Hour))
+	release := occupy(t, b, 20*time.Millisecond)
+
+	var wg sync.WaitGroup
+	texts := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Complete(context.Background(), Request{Prompt: fmt.Sprintf("fb%d", i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			texts[i] = resp.Text
+		}(i)
+	}
+	wg.Wait()
+	release()
+	for i, text := range texts {
+		if want := fmt.Sprintf("echo:fb%d", i); text != want {
+			t.Errorf("request %d got %q, want %q", i, text, want)
+		}
+	}
+}
+
+func TestBatcherDisabledPassthrough(t *testing.T) {
+	inner := &batchCountingClient{}
+	b := NewBatcher(inner, WithMaxBatch(1))
+	if _, err := b.Complete(context.Background(), Request{Prompt: "direct"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Batches != 0 {
+		t.Errorf("passthrough must not batch, stats = %+v", st)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("upstream called %d times, want 1", got)
+	}
+}
+
+func TestSimCompleteBatchMatchesSolo(t *testing.T) {
+	sim := NewSim(7)
+	reqs := []Request{
+		{Prompt: TaskFilter + "\nQuestion: engine problems?\nDocument:\nengine failure on approach"},
+		{Prompt: "tell me about airplanes"},
+		{Prompt: TaskSummarize + "\nInstruction: summarize\n- item one\n- item two"},
+	}
+	batched, err := sim.CompleteBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for i, req := range reqs {
+		solo, err := NewSim(7).Complete(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i].Text != solo.Text {
+			t.Errorf("request %d: batched %q != solo %q", i, batched[i].Text, solo.Text)
+		}
+		calls += batched[i].Usage.Calls
+	}
+	if calls != 1 {
+		t.Errorf("batch accounted %d calls, want 1 (grouped dispatch)", calls)
+	}
+}
+
+// faultyBatchClient fails every grouped dispatch but serves per-request
+// calls, modelling a batch poisoned by one transient fault.
+type faultyBatchClient struct {
+	countingClient
+	batchCalls atomic.Int64
+}
+
+func (c *faultyBatchClient) CompleteBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	c.batchCalls.Add(1)
+	return nil, ErrTransient
+}
+
+func TestBatcherDegradesToSinglesOnBatchError(t *testing.T) {
+	inner := &faultyBatchClient{countingClient: countingClient{delay: 50 * time.Millisecond}}
+	b := NewBatcher(inner, WithMaxBatch(4), WithLinger(time.Hour))
+	release := occupy(t, b, 20*time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Complete(context.Background(), Request{Prompt: fmt.Sprintf("d%d", i)})
+			if err != nil {
+				t.Errorf("request %d failed with its whole cohort: %v", i, err)
+				return
+			}
+			if want := fmt.Sprintf("echo:d%d", i); resp.Text != want {
+				t.Errorf("request %d got %q, want %q", i, resp.Text, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	release()
+	if got := inner.batchCalls.Load(); got < 1 {
+		t.Fatal("grouped dispatch was never attempted")
+	}
+}

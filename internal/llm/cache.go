@@ -1,0 +1,278 @@
+package llm
+
+import (
+	"compress/gzip"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// This file implements the content-addressed response cache, the first
+// layer of the LLM call middleware. Per-document semantic operators issue
+// the same prompt whenever the same document flows through the same plan
+// node — across retries, repeated queries, and conversation follow-ups —
+// so memoizing on (model, request) content removes the dominant cost of
+// re-execution (UQE §4; "Accurate and Efficient Document Analytics with
+// LLMs" makes the same observation).
+
+// Key is the content address of one completion call: a SHA-256 over the
+// model identity and every request field that affects the completion.
+func Key(model string, req Request) string {
+	h := sha256.New()
+	var buf [8]byte
+	writePart := func(s string) {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writePart(model)
+	writePart(req.System)
+	writePart(req.Prompt)
+	binary.BigEndian.PutUint64(buf[:], uint64(req.MaxTokens))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(req.Temperature))
+	h.Write(buf[:])
+	return string(h.Sum(nil))
+}
+
+// keyCtx threads a computed content key to inner middleware layers so a
+// request's prompt is hashed once per traversal, not once per layer.
+type keyCtx struct{}
+
+// withKey stashes a computed key for downstream layers.
+func withKey(ctx context.Context, key string) context.Context {
+	return context.WithValue(ctx, keyCtx{}, key)
+}
+
+// keyOf returns the key an outer layer already computed, or derives it.
+func keyOf(ctx context.Context, model string, req Request) string {
+	if k, ok := ctx.Value(keyCtx{}).(string); ok {
+		return k
+	}
+	return Key(model, req)
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count lookups.
+	Hits, Misses int64
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions int64
+	// Entries is the current resident entry count.
+	Entries int
+	// Saved accumulates the usage the cached responses cost when first
+	// computed — i.e. the spend avoided by serving them from cache.
+	Saved Usage
+}
+
+// Sub returns the stats accumulated since prev.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+		Saved: Usage{
+			Calls:            s.Saved.Calls - prev.Saved.Calls,
+			PromptTokens:     s.Saved.PromptTokens - prev.Saved.PromptTokens,
+			CompletionTokens: s.Saved.CompletionTokens - prev.Saved.CompletionTokens,
+		},
+	}
+}
+
+// Cache is a content-addressed LRU response cache wrapped around a Client.
+// Successful completions (including deterministic refusals) are cached;
+// errors are not. Cache hits return the stored response with FromCache set
+// and zero Usage, so an outer Meter keeps reporting true upstream spend;
+// the avoided spend accumulates in CacheStats.Saved.
+type Cache struct {
+	inner Client
+
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	resp Response
+}
+
+// CacheOption configures a Cache.
+type CacheOption func(*Cache)
+
+// WithCapacity bounds the number of resident entries (default 4096).
+func WithCapacity(n int) CacheOption {
+	return func(c *Cache) {
+		if n > 0 {
+			c.cap = n
+		}
+	}
+}
+
+// NewCache wraps inner with a content-addressed LRU response cache.
+func NewCache(inner Client, opts ...CacheOption) *Cache {
+	c := &Cache{
+		inner:   inner,
+		cap:     4096,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Complete serves the request from cache when possible, otherwise forwards
+// to the wrapped client and memoizes the result.
+func (c *Cache) Complete(ctx context.Context, req Request) (Response, error) {
+	key := Key(c.inner.Name(), req)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		entry := el.Value.(*cacheEntry)
+		c.stats.Hits++
+		c.stats.Saved.Add(entry.resp.Usage)
+		resp := entry.resp
+		c.mu.Unlock()
+		resp.Usage = Usage{}
+		resp.FromCache = true
+		return resp, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	resp, err := c.inner.Complete(withKey(ctx, key), req)
+	if err != nil {
+		return resp, err
+	}
+	if resp.Usage == (Usage{}) {
+		// A singleflight-follower copy: zero usage. The leader's own
+		// traversal caches the fully-accounted response; memoizing this
+		// one would permanently under-report CacheStats.Saved.
+		return resp, nil
+	}
+	c.put(key, resp)
+	return resp, nil
+}
+
+// put inserts a response, evicting from the LRU tail when over capacity.
+func (c *Cache) put(key string, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss already stored this key (e.g. two different
+		// wrappers racing); refresh recency and keep the existing value.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	c.entries[key] = el
+	for len(c.entries) > c.cap {
+		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Name identifies the wrapped model.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Inner returns the wrapped client.
+func (c *Cache) Inner() Client { return c.inner }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// persistedCache is the on-disk representation (keys in LRU order, most
+// recent first), serialized like the index store: gzip over gob.
+type persistedCache struct {
+	Keys      []string
+	Responses []Response
+}
+
+// Save writes the cache contents to path so a later process can warm-start
+// (the disk sibling of index/persist.go). Stats are not persisted.
+func (c *Cache) Save(path string) error {
+	c.mu.Lock()
+	snap := persistedCache{
+		Keys:      make([]string, 0, len(c.entries)),
+		Responses: make([]Response, 0, len(c.entries)),
+	}
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		entry := el.Value.(*cacheEntry)
+		snap.Keys = append(snap.Keys, entry.key)
+		snap.Responses = append(snap.Responses, entry.resp)
+	}
+	c.mu.Unlock()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("llm: cache save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
+		return fmt.Errorf("llm: cache save encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("llm: cache save flush: %w", err)
+	}
+	return f.Close()
+}
+
+// Load merges persisted entries into the cache (existing keys keep their
+// resident value). Loading counts toward capacity and may evict.
+func (c *Cache) Load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("llm: cache load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("llm: cache load: %w", err)
+	}
+	defer zr.Close()
+	var snap persistedCache
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return fmt.Errorf("llm: cache load decode: %w", err)
+	}
+	if len(snap.Keys) != len(snap.Responses) {
+		return fmt.Errorf("llm: cache load: corrupt snapshot (%d keys, %d responses)", len(snap.Keys), len(snap.Responses))
+	}
+	// Insert least-recent first so the persisted MRU order survives.
+	for i := len(snap.Keys) - 1; i >= 0; i-- {
+		c.put(snap.Keys[i], snap.Responses[i])
+	}
+	return nil
+}
+
+var _ Client = (*Cache)(nil)

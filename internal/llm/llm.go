@@ -35,8 +35,12 @@ type Response struct {
 	Text string
 	// Refusal marks a model refusal (e.g. context poisoning, §7.2).
 	Refusal bool
-	// Usage records the cost of this single call.
+	// Usage records the cost of this single call. Responses served from
+	// the middleware cache carry zero Usage (nothing was spent upstream).
 	Usage Usage
+	// FromCache marks a response served by the middleware cache rather
+	// than the backing model.
+	FromCache bool
 }
 
 // Usage tracks token accounting across calls.
@@ -94,6 +98,9 @@ func (m *Meter) Complete(ctx context.Context, req Request) (Response, error) {
 
 // Name returns the wrapped model's name.
 func (m *Meter) Name() string { return m.inner.Name() }
+
+// Inner returns the wrapped client (for middleware-stats discovery).
+func (m *Meter) Inner() Client { return m.inner }
 
 // Usage returns a snapshot of accumulated usage.
 func (m *Meter) Usage() Usage {

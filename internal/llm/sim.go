@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Sim is the deterministic heuristic language model. It dispatches on the
@@ -22,6 +23,7 @@ type Sim struct {
 	failureRate    float64
 	attendItems    int
 	refusalRatio   float64
+	latency        time.Duration
 	skills         []Skill
 	calls          atomic.Int64
 }
@@ -68,6 +70,11 @@ func WithRefusalRatio(p float64) SimOption { return func(s *Sim) { s.refusalRati
 // WithName overrides the reported model name.
 func WithName(name string) SimOption { return func(s *Sim) { s.name = name } }
 
+// WithLatency adds a fixed per-dispatch delay modelling network round-trip
+// to a hosted model. A batched dispatch (CompleteBatch) pays it once for
+// the whole group — the amortization that makes batching worthwhile.
+func WithLatency(d time.Duration) SimOption { return func(s *Sim) { s.latency = d } }
+
 // NewSim builds the simulated model with the given seed.
 func NewSim(seed int64, opts ...SimOption) *Sim {
 	s := &Sim{
@@ -100,6 +107,30 @@ func (s *Sim) rng(prompt string) *rand.Rand {
 
 // Complete implements Client.
 func (s *Sim) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := s.sleep(ctx); err != nil {
+		return Response{}, err
+	}
+	return s.complete(ctx, req)
+}
+
+// sleep models the network round-trip of one dispatch.
+func (s *Sim) sleep(ctx context.Context) error {
+	if s.latency <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(s.latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// complete is the latency-free completion path shared by solo and batched
+// dispatch.
+func (s *Sim) complete(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
@@ -174,4 +205,29 @@ func (s *Sim) genericCompletion(prompt string) string {
 	return "Summary: " + strings.Join(toks, " ")
 }
 
+// CompleteBatch runs a grouped completion: each request goes through the
+// same deterministic skill path as a solo Complete (so batched and
+// unbatched runs produce identical text), but the group is accounted as a
+// single upstream call — only the first response carries Calls=1,
+// modelling the amortized dispatch of a real batched API.
+func (s *Sim) CompleteBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	// One round trip for the whole group.
+	if err := s.sleep(ctx); err != nil {
+		return nil, err
+	}
+	resps := make([]Response, len(reqs))
+	for i, req := range reqs {
+		resp, err := s.complete(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			resp.Usage.Calls = 0
+		}
+		resps[i] = resp
+	}
+	return resps, nil
+}
+
 var _ Client = (*Sim)(nil)
+var _ BatchClient = (*Sim)(nil)

@@ -1,0 +1,113 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// This file implements singleflight deduplication, the second layer of the
+// LLM call middleware. DocSet map stages run with worker parallelism, so
+// the same prompt is routinely in flight on several workers at once (e.g.
+// duplicate accident reports in the NTSB corpus, or a fan-out query re-
+// extracting the same chunk). Collapsing those into one upstream call is
+// free latency and cost: followers wait on the leader's result instead of
+// re-issuing it.
+
+// FlightStats is a snapshot of deduplication counters.
+type FlightStats struct {
+	// Leads counts calls that actually went upstream.
+	Leads int64
+	// Shared counts calls that piggybacked on an in-flight leader.
+	Shared int64
+}
+
+// Sub returns the stats accumulated since prev.
+func (s FlightStats) Sub(prev FlightStats) FlightStats {
+	return FlightStats{Leads: s.Leads - prev.Leads, Shared: s.Shared - prev.Shared}
+}
+
+// flightCall is one in-flight upstream completion.
+type flightCall struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
+// Flight wraps a Client with singleflight deduplication: concurrent
+// requests with the same content address issue one upstream call and share
+// the result. Follower responses carry zero Usage (the leader's response
+// already accounts for the spend) and errors are shared across the flight.
+type Flight struct {
+	inner Client
+
+	mu       sync.Mutex
+	inflight map[string]*flightCall
+	stats    FlightStats
+}
+
+// NewFlight wraps inner with singleflight deduplication.
+func NewFlight(inner Client) *Flight {
+	return &Flight{inner: inner, inflight: make(map[string]*flightCall)}
+}
+
+// Complete issues the request upstream, or waits on an identical in-flight
+// request and shares its result. A follower whose leader died of the
+// leader's own context cancellation retries (becoming leader itself)
+// rather than inheriting a cancellation that isn't its own.
+func (f *Flight) Complete(ctx context.Context, req Request) (Response, error) {
+	key := keyOf(ctx, f.inner.Name(), req)
+
+	for {
+		f.mu.Lock()
+		call, ok := f.inflight[key]
+		if !ok {
+			call = &flightCall{done: make(chan struct{})}
+			f.inflight[key] = call
+			f.stats.Leads++
+			f.mu.Unlock()
+
+			call.resp, call.err = f.inner.Complete(ctx, req)
+			f.mu.Lock()
+			delete(f.inflight, key)
+			f.mu.Unlock()
+			close(call.done)
+			return call.resp, call.err
+		}
+		f.stats.Shared++
+		f.mu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+		if call.err == nil {
+			resp := call.resp
+			resp.Usage = Usage{}
+			return resp, nil
+		}
+		if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+			if err := ctx.Err(); err != nil {
+				return Response{}, err
+			}
+			// The leader's context died, not ours: re-issue.
+			continue
+		}
+		return Response{}, call.err
+	}
+}
+
+// Name identifies the wrapped model.
+func (f *Flight) Name() string { return f.inner.Name() }
+
+// Inner returns the wrapped client.
+func (f *Flight) Inner() Client { return f.inner }
+
+// Stats returns a snapshot of the deduplication counters.
+func (f *Flight) Stats() FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+var _ Client = (*Flight)(nil)

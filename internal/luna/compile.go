@@ -8,6 +8,7 @@ import (
 	"aryn/internal/docmodel"
 	"aryn/internal/docset"
 	"aryn/internal/index"
+	"aryn/internal/llm"
 )
 
 // Executor lowers validated logical plans onto Sycamore DocSet pipelines
@@ -31,6 +32,10 @@ type Result struct {
 	Compiled string
 	// Docs are the terminal documents (for drill-down).
 	Docs []*docmodel.Document
+	// LLM reports call-middleware activity (cache hits, singleflight
+	// collapses, batches) across planning AND execution of this query;
+	// nil when the client carries no middleware stack.
+	LLM *llm.StackStats
 }
 
 // Run executes the plan and shapes the answer.

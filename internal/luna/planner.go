@@ -57,6 +57,7 @@ type Service struct {
 
 // Ask plans, validates, optimizes, compiles, and executes the question.
 func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
+	before, hasStats := llm.StatsOf(s.Planner.Client)
 	raw, rewritten, err := s.Planner.Plan(ctx, question)
 	if err != nil {
 		return nil, err
@@ -68,6 +69,14 @@ func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
 	res.Question = question
 	res.Plan = raw
 	res.Rewritten = rewritten
+	if hasStats {
+		// Planner and executor share one middleware stack in a wired
+		// system, so a single delta covers the whole query.
+		if after, ok := llm.StatsOf(s.Planner.Client); ok {
+			delta := after.Sub(before)
+			res.LLM = &delta
+		}
+	}
 	return res, nil
 }
 

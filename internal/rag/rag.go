@@ -45,8 +45,10 @@ type Response struct {
 	// PoisonedChunks counts retrieved chunks carrying the liability
 	// disclaimer.
 	PoisonedChunks int
-	// Usage is the LLM cost of the answer call.
+	// Usage is the LLM cost of the answer call (zero on a cache hit).
 	Usage llm.Usage
+	// CacheHit marks an answer served by the call-middleware cache.
+	CacheHit bool
 }
 
 // Answer runs one question through the pipeline.
@@ -75,6 +77,7 @@ func (p *Pipeline) Answer(ctx context.Context, question string) (*Response, erro
 		Retrieved:      len(chunks),
 		PoisonedChunks: poisoned,
 		Usage:          resp.Usage,
+		CacheHit:       resp.FromCache,
 	}, nil
 }
 
