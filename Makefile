@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint bench ci
+.PHONY: build test lint bench bench-retrieval ci
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,16 @@ lint:
 # bench_test.go cannot silently rot. Full runs use -benchtime=default.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Retrieval perf trajectory: run the hot-path benchmarks and refresh the
+# "after" section of BENCH_retrieval.json (the "before" section is pinned
+# to the pre-overhaul baseline). CI uploads the JSON as an artifact.
+# Two steps (not a pipe) so a failed/panicked benchmark run fails the
+# target instead of benchjson swallowing the partial output.
+bench-retrieval:
+	tmp=$$(mktemp); \
+	$(GO) test -run=NONE -bench 'BenchmarkRetrieval' -benchmem -benchtime=1s . > $$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -out BENCH_retrieval.json -label after < $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 ci: build lint test bench

@@ -1,0 +1,186 @@
+package aryn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aryn/internal/docmodel"
+	"aryn/internal/embed"
+	"aryn/internal/index"
+)
+
+// This file is the retrieval hot-path benchmark suite behind
+// `make bench-retrieval`: embedding throughput (cold and repeated), BM25
+// keyword search, exact and HNSW kNN, and the hybrid store path, all at
+// 10k-chunk scale. Results land in BENCH_retrieval.json (before/after the
+// hot-path overhaul) via cmd/benchjson.
+
+const retrievalCorpusSize = 10000
+
+var retrievalWords = []string{
+	"engine", "wing", "landing", "fuel", "bird", "wind", "runway",
+	"pilot", "gear", "propeller", "stall", "fire", "terrain", "approach",
+	"takeoff", "cruise", "collision", "water", "night", "maintenance",
+	"tower", "weather", "visibility", "altitude", "rotor", "taxi",
+	"fuselage", "hydraulic", "electrical", "instrument",
+}
+
+func retrievalChunkText(i int) string {
+	w := retrievalWords
+	return fmt.Sprintf("%s %s %s %s narrative report %d",
+		w[i%len(w)], w[(i/3)%len(w)], w[(i/7)%len(w)], w[(i/11)%len(w)], i)
+}
+
+// retrievalVecs embeds the 10k-chunk corpus once per process.
+var retrievalVecs = struct {
+	once sync.Once
+	vecs [][]float32
+}{}
+
+func corpusVectors(b *testing.B) [][]float32 {
+	b.Helper()
+	retrievalVecs.once.Do(func() {
+		em := embed.NewHash(1)
+		vecs := make([][]float32, retrievalCorpusSize)
+		for i := range vecs {
+			vecs[i] = em.Embed(retrievalChunkText(i))
+		}
+		retrievalVecs.vecs = vecs
+	})
+	return retrievalVecs.vecs
+}
+
+// retrievalStore indexes the corpus (keyword + vector) under 1k parent
+// documents of 10 chunks each, once per process.
+var retrievalStore = struct {
+	once  sync.Once
+	store *index.Store
+}{}
+
+func corpusStore(b *testing.B) *index.Store {
+	b.Helper()
+	vecs := corpusVectors(b)
+	retrievalStore.once.Do(func() {
+		s := index.NewStore()
+		for i := 0; i < retrievalCorpusSize; i++ {
+			if i%10 == 0 {
+				d := docmodel.New(fmt.Sprintf("D%04d", i/10))
+				d.SetProperty("us_state", fmt.Sprintf("S%02d", (i/10)%50))
+				d.SetProperty("bucket", fmt.Sprintf("b%d", (i/10)%7))
+				if err := s.PutDocument(d); err != nil {
+					panic(err)
+				}
+			}
+			err := s.PutChunk(index.Chunk{
+				ID:       fmt.Sprintf("D%04d#%d", i/10, i%10),
+				ParentID: fmt.Sprintf("D%04d", i/10),
+				Text:     retrievalChunkText(i),
+				Vector:   vecs[i],
+				Page:     i%10 + 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		retrievalStore.store = s
+	})
+	return retrievalStore.store
+}
+
+// BenchmarkRetrievalEmbedRepeated embeds the same chunk-sized text every
+// iteration — the ask-time pattern (every query re-embeds familiar
+// vocabulary). This is the acceptance benchmark for cached token
+// directions (>= 5x required).
+func BenchmarkRetrievalEmbedRepeated(b *testing.B) {
+	em := embed.NewHash(1)
+	text := "The pilot reported that during cruise flight the engine experienced a total loss of power and the airplane sustained substantial damage to the left wing during the forced landing."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Embed(text)
+	}
+}
+
+// BenchmarkRetrievalEmbedCorpus embeds distinct texts drawn from a shared
+// vocabulary — the ingest pattern (distinct chunks, overlapping tokens).
+func BenchmarkRetrievalEmbedCorpus(b *testing.B) {
+	em := embed.NewHash(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Embed(retrievalChunkText(i % retrievalCorpusSize))
+	}
+}
+
+// BenchmarkRetrievalBM25Search10k measures keyword top-10 over 10k chunks.
+func BenchmarkRetrievalBM25Search10k(b *testing.B) {
+	s := corpusStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SearchDocs(index.Query{Keyword: "engine fire during landing approach", K: 10})
+	}
+}
+
+// BenchmarkRetrievalExactKNN10k measures brute-force top-10 over 10k
+// vectors.
+func BenchmarkRetrievalExactKNN10k(b *testing.B) {
+	vecs := corpusVectors(b)
+	ix := index.NewExact()
+	for i, v := range vecs {
+		ix.Add(i, v)
+	}
+	query := embed.NewHash(1).Embed("engine failure during landing")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(query, 10)
+	}
+}
+
+// BenchmarkRetrievalHNSW10k measures approximate top-10 over 10k vectors.
+func BenchmarkRetrievalHNSW10k(b *testing.B) {
+	vecs := corpusVectors(b)
+	ix := index.NewHNSW(3)
+	for i, v := range vecs {
+		ix.Add(i, v)
+	}
+	query := embed.NewHash(1).Embed("engine failure during landing")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(query, 10)
+	}
+}
+
+// BenchmarkRetrievalHybrid10k measures the full hybrid SearchDocs path
+// (BM25 + vector + RRF fusion + parent reassembly) at 10k chunks.
+func BenchmarkRetrievalHybrid10k(b *testing.B) {
+	s := corpusStore(b)
+	query := embed.NewHash(1).Embed("engine failure during landing")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SearchDocs(index.Query{
+			Keyword: "engine fire during landing approach",
+			Vector:  query,
+			K:       10,
+		})
+	}
+}
+
+// BenchmarkRetrievalSearchChunks10k measures the RAG retrieval path
+// (vector top-100 chunks) at 10k chunks.
+func BenchmarkRetrievalSearchChunks10k(b *testing.B) {
+	s := corpusStore(b)
+	query := embed.NewHash(1).Embed("engine failure during landing")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SearchChunks(index.Query{Vector: query, K: 100})
+	}
+}
+
+// BenchmarkRetrievalFilteredScan10k measures the pure metadata scan path
+// (no ranking signal) that returns parent documents.
+func BenchmarkRetrievalFilteredScan10k(b *testing.B) {
+	s := corpusStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SearchDocs(index.Query{Filter: index.Term("bucket", "b3"), K: 50})
+	}
+}

@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output (stdin) into a JSON
+// benchmark record. It preserves other labels already present in the
+// output file, so a checked-in file can carry a pinned "before" section
+// while `make bench-retrieval` refreshes "after":
+//
+//	go test -run=NONE -bench Retrieval -benchmem . | benchjson -out BENCH_retrieval.json -label after
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements: ns/op plus any extra
+// -benchmem / ReportMetric columns keyed by unit.
+type Result struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk layout of BENCH_*.json.
+type File struct {
+	Description string                       `json:"description,omitempty"`
+	CPU         string                       `json:"cpu,omitempty"`
+	Results     map[string]map[string]Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (required)")
+	label := flag.String("label", "after", "label to record results under")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	parsed, cpu, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	file := File{Results: map[string]map[string]Result{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if file.Results == nil {
+		file.Results = map[string]map[string]Result{}
+	}
+	file.Results[*label] = parsed
+	if cpu != "" {
+		file.CPU = cpu
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s under %q\n", len(parsed), *out, *label)
+}
+
+// parse reads benchmark lines, returning name -> result plus the cpu line.
+func parse(f *os.File) (map[string]Result, string, error) {
+	results := map[string]Result{}
+	cpu := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 { // strip GOMAXPROCS suffix
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = val
+			}
+		}
+		results[name] = r
+	}
+	return results, cpu, sc.Err()
+}

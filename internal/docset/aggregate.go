@@ -35,7 +35,9 @@ func (ds *DocSet) GroupByAggregate(keyField string, agg AggKind, valueField stri
 		keyField = "group"
 		keyFn = func(*docmodel.Document) string { return "all" }
 	}
-	return ds.ReduceByKey(name, keyFn, func(key string, docs []*docmodel.Document) (*docmodel.Document, error) {
+	// The reduce below only reads group members, so it must not force a
+	// source clone of shared index snapshots (the Luna analytics path).
+	return ds.reduceByKey(name, keyFn, func(key string, docs []*docmodel.Document) (*docmodel.Document, error) {
 		out := docmodel.New(keyField + "=" + key)
 		out.SetProperty(keyField, key)
 		out.SetProperty("count", len(docs))
@@ -74,7 +76,7 @@ func (ds *DocSet) GroupByAggregate(keyField string, agg AggKind, valueField stri
 			return nil, fmt.Errorf("groupByAggregate: unknown aggregation %q", agg)
 		}
 		return out, nil
-	})
+	}, false)
 }
 
 // TopK sorts groups/documents by a numeric property descending and keeps

@@ -29,18 +29,21 @@ func (ds *DocSet) with(sp stageSpec) *DocSet {
 	return &DocSet{ctx: ds.ctx, source: ds.source, stages: stages}
 }
 
-// FromDocuments builds a DocSet over an in-memory document slice
-// (documents are cloned on read so callers keep ownership).
+// FromDocuments builds a DocSet over an in-memory document slice. The
+// caller keeps ownership: when the plan contains a mutating operator the
+// executor clones documents at the source, and pure-read plans flow the
+// originals through untouched.
 func FromDocuments(ec *Context, docs []*docmodel.Document) *DocSet {
 	snapshot := make([]*docmodel.Document, len(docs))
 	copy(snapshot, docs)
 	return &DocSet{
 		ctx: ec,
 		source: sourceSpec{
-			name: fmt.Sprintf("scan[memory, %d docs]", len(snapshot)),
+			name:   fmt.Sprintf("scan[memory, %d docs]", len(snapshot)),
+			shared: true,
 			emit: func(ctx context.Context, _ *Context, yield func(*docmodel.Document) error) error {
 				for _, d := range snapshot {
-					if err := yield(d.Clone()); err != nil {
+					if err := yield(d); err != nil {
 						return err
 					}
 				}
@@ -78,6 +81,9 @@ func QueryDatabase(ec *Context, store *index.Store, q index.Query) *DocSet {
 		ctx: ec,
 		source: sourceSpec{
 			name: describeQuery("queryDatabase", q),
+			// SearchDocs returns the store's shared snapshots; the
+			// executor clones them only for mutating plans.
+			shared: true,
 			emit: func(ctx context.Context, _ *Context, yield func(*docmodel.Document) error) error {
 				for _, hit := range store.SearchDocs(q) {
 					if err := yield(hit.Doc); err != nil {
@@ -97,7 +103,8 @@ func QueryVectorDatabase(ec *Context, store *index.Store, queryText string, filt
 	return &DocSet{
 		ctx: ec,
 		source: sourceSpec{
-			name: fmt.Sprintf("queryVectorDatabase[%q, k=%d]", queryText, k),
+			name:   fmt.Sprintf("queryVectorDatabase[%q, k=%d]", queryText, k),
+			shared: true,
 			emit: func(ctx context.Context, ec *Context, yield func(*docmodel.Document) error) error {
 				vec := ec.Embedder.Embed(queryText)
 				q := index.Query{Vector: vec, Filter: filter, K: k}

@@ -337,6 +337,77 @@ func TestQueryDatabaseSource(t *testing.T) {
 	}
 }
 
+// TestQueryDatabaseCopyOnWrite pins the zero-clone contract: pure-read
+// plans flow the store's shared snapshots straight through, while plans
+// containing a mutating operator clone at the source so the indexed
+// documents stay pristine.
+func TestQueryDatabaseCopyOnWrite(t *testing.T) {
+	ec := NewContext()
+	store := index.NewStore()
+	for _, d := range testDocs(4) {
+		if err := store.PutDocument(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read-only plan: output documents ARE the store snapshots.
+	docs, err := QueryDatabase(ec, store, index.Query{}).
+		Filter("all", func(*docmodel.Document) (bool, error) { return true, nil }).
+		TakeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := store.Document(docs[0].ID)
+	if docs[0] != stored {
+		t.Error("pure-read plan should pass shared snapshots through without cloning")
+	}
+
+	// Mutating plan: the Map writes to its input, which must be a clone.
+	mutated, err := QueryDatabase(ec, store, index.Query{}).
+		Map("poison", func(d *docmodel.Document) (*docmodel.Document, error) {
+			d.SetProperty("poisoned", true)
+			return d, nil
+		}).
+		TakeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mutated) != 4 {
+		t.Fatalf("mutating plan returned %d docs", len(mutated))
+	}
+	for _, d := range store.Documents() {
+		if _, ok := d.Properties.Get("poisoned"); ok {
+			t.Fatalf("mutating plan leaked writes into stored snapshot %s", d.ID)
+		}
+	}
+}
+
+// TestNeedsSourceClone pins the plan-level clone decision: only a mutator
+// reachable by the source documents (i.e. before any fresh-document
+// barrier) forces the copy.
+func TestNeedsSourceClone(t *testing.T) {
+	ec := NewContext()
+	store := index.NewStore()
+	src := func() *DocSet { return QueryDatabase(ec, store, index.Query{}) }
+	ident := func(d *docmodel.Document) (*docmodel.Document, error) { return d, nil }
+
+	if src().GroupByAggregate("k", AggCount, "").needsSourceClone() {
+		t.Error("read-only aggregation must not clone the source")
+	}
+	if !src().Map("m", ident).needsSourceClone() {
+		t.Error("a Map over source documents must clone")
+	}
+	if src().GroupByAggregate("k", AggCount, "").Map("m", ident).needsSourceClone() {
+		t.Error("a mutator after a fresh aggregation barrier must not clone the source")
+	}
+	if !src().Map("m", ident).GroupByAggregate("k", AggCount, "").needsSourceClone() {
+		t.Error("a mutator before the barrier must still clone")
+	}
+	if src().LLMReduceByKey("k", "summarize").needsSourceClone() {
+		t.Error("LLMReduceByKey only mutates its fresh group documents")
+	}
+}
+
 func TestWriteRoutesDocsAndChunks(t *testing.T) {
 	ec := NewContext()
 	store := index.NewStore()

@@ -60,12 +60,46 @@ type stageSpec struct {
 	kind      stageKind
 	mapFn     func(*Context, *docmodel.Document) ([]*docmodel.Document, error)
 	barrierFn func(*Context, []*docmodel.Document) ([]*docmodel.Document, error)
+	// mutates marks stages that may write to their input documents
+	// (SetProperty, Text/Embedding assignment, user-supplied map
+	// functions). Shared-source plans clone at the source only when some
+	// stage carries this flag — the copy-on-write escape hatch that lets
+	// pure-read pipelines flow zero-clone snapshots end to end.
+	mutates bool
+	// fresh marks stages whose outputs are newly created documents
+	// sharing no mutable state with their inputs (aggregation barriers,
+	// explode). A mutator downstream of a fresh stage only ever touches
+	// those fresh documents, so it does not force a source clone.
+	fresh bool
 }
 
 // sourceSpec produces the root documents of a plan.
 type sourceSpec struct {
 	name string
 	emit func(ctx context.Context, ec *Context, yield func(*docmodel.Document) error) error
+	// shared marks sources that yield documents owned by someone else
+	// (index.Store snapshots, caller-held slices) rather than documents
+	// created for this plan. Execute clones shared documents at the
+	// source iff a downstream stage mutates.
+	shared bool
+}
+
+// needsSourceClone reports whether Execute must copy documents as they
+// leave the source: only when the source shares ownership AND some stage
+// mutates its inputs before a fresh-document barrier replaces them.
+func (ds *DocSet) needsSourceClone() bool {
+	if !ds.source.shared {
+		return false
+	}
+	for _, sp := range ds.stages {
+		if sp.mutates {
+			return true
+		}
+		if sp.fresh {
+			return false // later mutators touch fresh documents only
+		}
+	}
+	return false
 }
 
 // Execute runs the plan and returns the resulting documents (in
@@ -91,12 +125,16 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 
 	// Source goroutine.
 	srcOut := make(chan envelope, chanCap)
+	cloneAtSource := ds.needsSourceClone()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(srcOut)
 		i := 0
 		err := ds.source.emit(cctx, ds.ctx, func(d *docmodel.Document) error {
+			if cloneAtSource {
+				d = d.Clone()
+			}
 			env := envelope{seq: []int32{int32(i)}, doc: d}
 			i++
 			atomic.AddInt64(&srcTrace.In, 1)

@@ -121,8 +121,9 @@ func (ds *DocSet) Lookup(field, prefix string, table map[string]docmodel.Propert
 		norm[strings.ToLower(strings.TrimSpace(k))] = v
 	}
 	return ds.with(stageSpec{
-		name: fmt.Sprintf("lookup[%s]", field),
-		kind: mapKind,
+		name:    fmt.Sprintf("lookup[%s]", field),
+		kind:    mapKind,
+		mutates: true, // merges looked-up properties into d
 		mapFn: func(_ *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			if props, ok := norm[joinKey(d, field)]; ok {
 				for k, v := range props {

@@ -20,8 +20,9 @@ import (
 func (ds *DocSet) LLMCluster(k int, fields []string, seed int64) *DocSet {
 	name := fmt.Sprintf("llmCluster[k=%d, fields=%s]", k, strings.Join(fields, ","))
 	return ds.with(stageSpec{
-		name: name,
-		kind: barrierKind,
+		name:    name,
+		kind:    barrierKind,
+		mutates: true, // assigns cluster_id / cluster_label properties
 		barrierFn: func(ec *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
 			if k <= 0 {
 				return nil, fmt.Errorf("llmCluster: k must be positive, got %d", k)

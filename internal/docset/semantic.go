@@ -25,8 +25,9 @@ func (ds *DocSet) LLMExtract(fields []llm.FieldSpec) *DocSet {
 		names[i] = f.Name
 	}
 	return ds.with(stageSpec{
-		name: "llmExtract[" + strings.Join(names, ",") + "]",
-		kind: mapKind,
+		name:    "llmExtract[" + strings.Join(names, ",") + "]",
+		kind:    mapKind,
+		mutates: true, // merges extracted fields into d.Properties
 		mapFn: func(ec *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			prompt := llm.ExtractPrompt(fields, d.TextContent())
 			resp, err := ec.LLM.Complete(context.Background(), llm.Request{Prompt: prompt})
@@ -72,7 +73,7 @@ func (ds *DocSet) LLMFilter(question string) *DocSet {
 // composition the paper describes: a structured reduce to form groups,
 // then one narrow LLM call per group.
 func (ds *DocSet) LLMReduceByKey(keyField, instruction string) *DocSet {
-	grouped := ds.ReduceByKey("group:"+keyField, func(d *docmodel.Document) string {
+	grouped := ds.reduceByKey("group:"+keyField, func(d *docmodel.Document) string {
 		return d.Property(keyField)
 	}, func(key string, docs []*docmodel.Document) (*docmodel.Document, error) {
 		merged := docmodel.New(keyField + "=" + key)
@@ -84,10 +85,11 @@ func (ds *DocSet) LLMReduceByKey(keyField, instruction string) *DocSet {
 		}
 		merged.Text = strings.Join(items, "\n")
 		return merged, nil
-	})
+	}, false) // reduce reads members and emits fresh group documents
 	return grouped.with(stageSpec{
-		name: "llmCombine[" + instruction + "]",
-		kind: mapKind,
+		name:    "llmCombine[" + instruction + "]",
+		kind:    mapKind,
+		mutates: true, // rewrites d.Text with the combined summary
 		mapFn: func(ec *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			items := strings.Split(d.Text, "\n")
 			prompt := llm.SummarizePrompt(instruction, items)
@@ -104,8 +106,9 @@ func (ds *DocSet) LLMReduceByKey(keyField, instruction string) *DocSet {
 // Embed computes an embedding vector for each document's text (Table 2b).
 func (ds *DocSet) Embed() *DocSet {
 	return ds.with(stageSpec{
-		name: "embed",
-		kind: mapKind,
+		name:    "embed",
+		kind:    mapKind,
+		mutates: true, // assigns d.Embedding
 		mapFn: func(ec *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			text := d.Text
 			if text == "" {
@@ -122,8 +125,9 @@ func (ds *DocSet) Embed() *DocSet {
 // last step of a plan.
 func (ds *DocSet) Summarize(instruction string) *DocSet {
 	return ds.with(stageSpec{
-		name: "llmGenerate[" + instruction + "]",
-		kind: barrierKind,
+		name:  "llmGenerate[" + instruction + "]",
+		kind:  barrierKind,
+		fresh: true, // emits a single new summary document
 		barrierFn: func(ec *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
 			items := make([]string, 0, len(docs))
 			for _, d := range docs {

@@ -17,8 +17,9 @@ import (
 // argument; each document flows through exactly one ownership path).
 func (ds *DocSet) Map(name string, fn func(*docmodel.Document) (*docmodel.Document, error)) *DocSet {
 	return ds.with(stageSpec{
-		name: "map[" + name + "]",
-		kind: mapKind,
+		name:    "map[" + name + "]",
+		kind:    mapKind,
+		mutates: true,
 		mapFn: func(_ *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			out, err := fn(d)
 			if err != nil {
@@ -32,7 +33,9 @@ func (ds *DocSet) Map(name string, fn func(*docmodel.Document) (*docmodel.Docume
 	})
 }
 
-// Filter keeps documents for which pred returns true.
+// Filter keeps documents for which pred returns true. pred must treat its
+// argument as read-only: filtered documents may be shared index snapshots
+// (use Map for in-place edits).
 func (ds *DocSet) Filter(name string, pred func(*docmodel.Document) (bool, error)) *DocSet {
 	return ds.with(stageSpec{
 		name: "filter[" + name + "]",
@@ -58,11 +61,13 @@ func (ds *DocSet) FilterProps(pred index.Predicate) *DocSet {
 	})
 }
 
-// FlatMap expands each document into zero or more documents.
+// FlatMap expands each document into zero or more documents (fn may
+// mutate its argument).
 func (ds *DocSet) FlatMap(name string, fn func(*docmodel.Document) ([]*docmodel.Document, error)) *DocSet {
 	return ds.with(stageSpec{
-		name: "flatMap[" + name + "]",
-		kind: mapKind,
+		name:    "flatMap[" + name + "]",
+		kind:    mapKind,
+		mutates: true,
 		mapFn: func(_ *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			return fn(d)
 		},
@@ -101,8 +106,9 @@ func (ds *DocSet) Partition(p Partitioner) *DocSet {
 // would pollute retrieval with chunks shared by every document.
 func (ds *DocSet) Explode() *DocSet {
 	return ds.with(stageSpec{
-		name: "explode",
-		kind: mapKind,
+		name:  "explode",
+		kind:  mapKind,
+		fresh: true, // emits new chunk documents with cloned elements/props
 		mapFn: func(_ *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			var elements []*docmodel.Element
 			for _, e := range d.AllElements() {
@@ -182,9 +188,21 @@ func (ds *DocSet) MergeChunks(maxTokens int) *DocSet {
 // document (Table 2a). Groups are emitted in sorted key order. Documents
 // with an empty key are dropped, accommodating missing fields (§5.2).
 func (ds *DocSet) ReduceByKey(name string, key func(*docmodel.Document) string, reduce func(key string, docs []*docmodel.Document) (*docmodel.Document, error)) *DocSet {
+	// User-supplied reduce functions may write to group members.
+	return ds.reduceByKey(name, key, reduce, true)
+}
+
+// reduceByKey is ReduceByKey with an explicit mutation contract: internal
+// callers whose reduce functions only read their group and emit brand-new
+// group documents (GroupByAggregate, LLMReduceByKey) pass mutates=false,
+// which also marks the stage as a fresh-document barrier — shared-source
+// plans stay zero-clone even with mutators downstream of the aggregation.
+func (ds *DocSet) reduceByKey(name string, key func(*docmodel.Document) string, reduce func(key string, docs []*docmodel.Document) (*docmodel.Document, error), mutates bool) *DocSet {
 	return ds.with(stageSpec{
-		name: "reduceByKey[" + name + "]",
-		kind: barrierKind,
+		name:    "reduceByKey[" + name + "]",
+		kind:    barrierKind,
+		mutates: mutates,
+		fresh:   !mutates,
 		barrierFn: func(_ *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
 			groups := map[string][]*docmodel.Document{}
 			var order []string

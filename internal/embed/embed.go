@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"aryn/internal/llm"
 )
@@ -32,15 +33,24 @@ type Embedder interface {
 	Name() string
 }
 
-// Hash is the hashed bag-of-tokens embedder.
+// Hash is the hashed bag-of-tokens embedder. Token directions are pure
+// functions of (seed, token), so they are memoized: the first sighting of
+// a token pays for the Gaussian generation, every later Embed — per chunk
+// at ingest, per query at ask-time — reuses the cached unit direction.
+// Safe for concurrent use.
 type Hash struct {
 	seed int64
 	dim  int
+
+	mu   sync.RWMutex
+	dirs map[string][]float32 // token -> cached unit direction (read-only)
 }
 
 // NewHash builds an embedder with the given seed. Different seeds produce
 // incompatible vector spaces, like different embedding models.
-func NewHash(seed int64) *Hash { return &Hash{seed: seed, dim: Dim} }
+func NewHash(seed int64) *Hash {
+	return &Hash{seed: seed, dim: Dim, dirs: make(map[string][]float32)}
+}
 
 // Name identifies the model.
 func (h *Hash) Name() string { return "hash-minilm-sim" }
@@ -133,18 +143,39 @@ func (h *Hash) Embed(text string) []float32 {
 	return vec
 }
 
-// tokenDirection derives the token's unit direction from its hash.
+// tokenDirection derives the token's unit direction from its hash,
+// memoizing the result. Cached slices are shared and must not be written.
 func (h *Hash) tokenDirection(tok string) []float32 {
+	h.mu.RLock()
+	dir, ok := h.dirs[tok]
+	h.mu.RUnlock()
+	if ok {
+		return dir
+	}
 	hs := fnv.New64a()
 	hs.Write([]byte(tok))
 	rng := rand.New(rand.NewSource(h.seed ^ int64(hs.Sum64())))
-	dir := make([]float32, h.dim)
+	dir = make([]float32, h.dim)
 	for i := range dir {
 		dir[i] = float32(rng.NormFloat64())
 	}
 	Normalize(dir)
+	h.mu.Lock()
+	if prior, ok := h.dirs[tok]; ok {
+		dir = prior // a concurrent Embed won the race; share its slice
+	} else if len(h.dirs) < maxCachedDirections {
+		h.dirs[tok] = dir
+	}
+	h.mu.Unlock()
 	return dir
 }
+
+// maxCachedDirections bounds the direction cache. Each entry costs
+// Dim*4 bytes (4 KB), so the cap holds worst-case residency to ~64 MB.
+// Common vocabulary is seen (and cached) early; once full, long-tail
+// tokens — report numbers, dates, one-off IDs — are recomputed instead
+// of growing the cache without bound.
+const maxCachedDirections = 16384
 
 // Normalize scales vec to unit L2 norm in place (no-op on zero vectors).
 func Normalize(vec []float32) {
@@ -177,4 +208,19 @@ func Cosine(a, b []float32) float64 {
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
+}
+
+// Dot returns the inner product of a and b (0 for mismatched inputs).
+// Embed emits unit vectors, so for embeddings Dot equals Cosine without
+// recomputing either norm — the score function of the vector-index hot
+// path.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
 }

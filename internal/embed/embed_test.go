@@ -2,6 +2,7 @@ package embed
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -88,6 +89,66 @@ func TestCosineSymmetricAndBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTokenDirectionCacheTransparent proves memoized directions change
+// nothing observable: a warm embedder reproduces a cold embedder's output
+// byte for byte.
+func TestTokenDirectionCacheTransparent(t *testing.T) {
+	texts := []string{
+		"the engine lost power during cruise",
+		"substantial damage to the left wing",
+		"engine power loss during the forced landing", // shares tokens with both
+	}
+	warm := NewHash(1)
+	for _, txt := range texts { // populate the cache
+		warm.Embed(txt)
+	}
+	for _, txt := range texts {
+		cold := NewHash(1) // fresh cache per text
+		a, b := cold.Embed(txt), warm.Embed(txt)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cached embedding diverged for %q at dim %d", txt, i)
+			}
+		}
+	}
+}
+
+// TestEmbedConcurrent exercises the direction cache under parallel Embed
+// calls (meaningful under -race, which `make test` always enables).
+func TestEmbedConcurrent(t *testing.T) {
+	e := NewHash(1)
+	want := NewHash(1).Embed("engine fire during landing approach")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got := e.Embed("engine fire during landing approach")
+				for j := range got {
+					if got[j] != want[j] {
+						t.Errorf("worker %d: concurrent embed diverged", w)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDotMatchesCosineForUnitVectors(t *testing.T) {
+	e := NewHash(1)
+	a := e.Embed("engine power loss during flight")
+	b := e.Embed("the airplane had a total loss of engine power")
+	if math.Abs(Dot(a, b)-Cosine(a, b)) > 1e-6 {
+		t.Errorf("Dot %.9f should match Cosine %.9f on unit vectors", Dot(a, b), Cosine(a, b))
+	}
+	if Dot([]float32{1}, []float32{1, 2}) != 0 {
+		t.Error("mismatched dims should return 0")
 	}
 }
 

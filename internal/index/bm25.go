@@ -2,7 +2,6 @@ package index
 
 import (
 	"math"
-	"sort"
 
 	"aryn/internal/llm"
 )
@@ -14,10 +13,12 @@ const (
 )
 
 // bm25Index is an inverted index over chunk texts with BM25 ranking.
+// Length statistics are maintained incrementally on add, so avgLen is
+// O(1) at search time rather than a per-search rescan.
 type bm25Index struct {
 	postings map[string][]posting // term -> sorted doc postings
 	docLen   []int                // tokens per indexed chunk
-	totalLen int
+	totalLen int                  // running sum of docLen
 }
 
 type posting struct {
@@ -91,20 +92,21 @@ func (ix *bm25Index) search(query string, k int) []Scored {
 			scores[p.doc] += idf * tf * (bm25K1 + 1) / denom
 		}
 	}
+	// Bounded top-k selection instead of sorting the whole score map; the
+	// (Score desc, Doc asc) total order keeps results deterministic
+	// regardless of map iteration order.
+	if k > 0 && k < len(scores) {
+		t := newTopK(k)
+		for d, s := range scores {
+			t.offer(Scored{Doc: d, Score: s})
+		}
+		return t.take()
+	}
 	out := make([]Scored, 0, len(scores))
 	for d, s := range scores {
 		out = append(out, Scored{Doc: d, Score: s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc // deterministic ties
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
+	return selectTopK(out, 0)
 }
 
 // vocabSize reports the number of distinct indexed terms.

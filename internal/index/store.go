@@ -2,7 +2,6 @@ package index
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"aryn/internal/docmodel"
@@ -22,6 +21,13 @@ type Chunk struct {
 // Store is the in-process document store: parent documents with their
 // properties, plus a chunk-level BM25 inverted index and vector index.
 // Safe for concurrent use.
+//
+// Documents are immutable-on-write: PutDocument deep-clones its input
+// once, and every read path (Document, Documents, SearchDocs) returns
+// that stored snapshot directly — zero clones per hit. Returned documents
+// are shared and MUST be treated as read-only; callers that need to
+// mutate take an explicit copy with Document.Clone (the docset sources do
+// this automatically when a pipeline contains a mutating operator).
 type Store struct {
 	mu       sync.RWMutex
 	docs     map[string]*docmodel.Document
@@ -54,9 +60,10 @@ func NewStore(opts ...StoreOption) *Store {
 }
 
 // PutDocument upserts a parent document (replacing any prior version with
-// the same ID). Chunk postings for replaced documents are not rewritten;
-// re-ingest into a fresh store for full replacement semantics, as with an
-// OpenSearch reindex.
+// the same ID). The input is deep-cloned once here — the immutable-on-write
+// snapshot every later read shares. Chunk postings for replaced documents
+// are not rewritten; re-ingest into a fresh store for full replacement
+// semantics, as with an OpenSearch reindex.
 func (s *Store) PutDocument(d *docmodel.Document) error {
 	if d == nil || d.ID == "" {
 		return fmt.Errorf("index: document must have an ID")
@@ -86,7 +93,9 @@ func (s *Store) PutChunk(c Chunk) error {
 	return nil
 }
 
-// Document returns the stored parent document by ID (a defensive copy).
+// Document returns the stored parent document by ID. The returned
+// document is the store's shared immutable snapshot: read-only (Clone
+// before mutating).
 func (s *Store) Document(id string) (*docmodel.Document, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -94,16 +103,17 @@ func (s *Store) Document(id string) (*docmodel.Document, bool) {
 	if !ok {
 		return nil, false
 	}
-	return d.Clone(), true
+	return d, true
 }
 
-// Documents returns all parent documents in insertion order.
+// Documents returns all parent documents in insertion order, as shared
+// read-only snapshots.
 func (s *Store) Documents() []*docmodel.Document {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]*docmodel.Document, 0, len(s.docOrder))
 	for _, id := range s.docOrder {
-		out = append(out, s.docs[id].Clone())
+		out = append(out, s.docs[id])
 	}
 	return out
 }
@@ -156,7 +166,8 @@ type ChunkHit struct {
 
 // SearchDocs runs the query and returns parent documents, reassembled from
 // their best-matching chunks, ordered by descending score (insertion order
-// for pure filter scans).
+// for pure filter scans). Hit documents are shared read-only snapshots
+// (see the Store doc comment).
 func (s *Store) SearchDocs(q Query) []DocHit {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -165,14 +176,14 @@ func (s *Store) SearchDocs(q Query) []DocHit {
 		filter = MatchAll()
 	}
 
-	ranked := s.rankChunks(q)
-	if ranked == nil {
+	ranked, truncated := s.rankChunks(q, overFetch(q.K))
+	if ranked == nil && !truncated {
 		// Pure metadata scan.
 		var out []DocHit
 		for _, id := range s.docOrder {
 			d := s.docs[id]
 			if filter.Match(d.Properties) {
-				out = append(out, DocHit{Doc: d.Clone(), Score: 1})
+				out = append(out, DocHit{Doc: d, Score: 1})
 				if q.K > 0 && len(out) == q.K {
 					break
 				}
@@ -181,7 +192,19 @@ func (s *Store) SearchDocs(q Query) []DocHit {
 		return out
 	}
 
-	// Group chunk hits by parent, keeping the best score per parent.
+	out := s.collectDocHits(ranked, filter, q.K)
+	if q.K > 0 && len(out) < q.K && truncated {
+		// Under-fill: the parent filter rejected most of the over-fetched
+		// ranking. Widen to a full ranking so selective filters still fill K.
+		ranked, _ = s.rankChunks(q, len(s.chunks))
+		out = s.collectDocHits(ranked, filter, q.K)
+	}
+	return out
+}
+
+// collectDocHits groups ranked chunks by parent (best score per parent,
+// first-seen rank order) and applies the parent-property filter.
+func (s *Store) collectDocHits(ranked []Scored, filter Predicate, k int) []DocHit {
 	best := map[string]float64{}
 	var order []string
 	for _, sc := range ranked {
@@ -197,8 +220,8 @@ func (s *Store) SearchDocs(q Query) []DocHit {
 		if !ok || !filter.Match(d.Properties) {
 			continue
 		}
-		out = append(out, DocHit{Doc: d.Clone(), Score: best[pid]})
-		if q.K > 0 && len(out) == q.K {
+		out = append(out, DocHit{Doc: d, Score: best[pid]})
+		if k > 0 && len(out) == k {
 			break
 		}
 	}
@@ -213,14 +236,26 @@ func (s *Store) SearchChunks(q Query) []ChunkHit {
 	if filter == nil {
 		filter = MatchAll()
 	}
-	ranked := s.rankChunks(q)
-	if ranked == nil {
+	ranked, truncated := s.rankChunks(q, overFetch(q.K))
+	if ranked == nil && !truncated {
 		// No ranking signal: return chunks in index order.
 		ranked = make([]Scored, 0, len(s.chunks))
 		for i := range s.chunks {
 			ranked = append(ranked, Scored{Doc: i, Score: 1})
 		}
 	}
+	out := s.collectChunkHits(ranked, filter, q.K)
+	if q.K > 0 && len(out) < q.K && truncated {
+		// Widen as in SearchDocs: selective parent filters must still fill K.
+		ranked, _ = s.rankChunks(q, len(s.chunks))
+		out = s.collectChunkHits(ranked, filter, q.K)
+	}
+	return out
+}
+
+// collectChunkHits applies the parent-property filter to a ranked chunk
+// list, capped at k.
+func (s *Store) collectChunkHits(ranked []Scored, filter Predicate, k int) []ChunkHit {
 	var out []ChunkHit
 	for _, sc := range ranked {
 		c := s.chunks[sc.Doc]
@@ -228,38 +263,55 @@ func (s *Store) SearchChunks(q Query) []ChunkHit {
 			continue
 		}
 		out = append(out, ChunkHit{Chunk: c, Score: sc.Score})
-		if q.K > 0 && len(out) == q.K {
+		if k > 0 && len(out) == k {
 			break
 		}
 	}
 	return out
 }
 
-// rankChunks produces a ranked chunk list for the query's search signal,
-// or nil when the query has no keyword/vector component. Over-fetches
-// beyond K so parent-level filtering still fills the requested K.
-func (s *Store) rankChunks(q Query) []Scored {
-	fetch := 0
-	if q.K > 0 {
-		fetch = q.K * 8
+// overFetch is the first-pass ranking depth for a K-limited query: enough
+// headroom that typical parent filters still fill K without ranking the
+// whole corpus.
+func overFetch(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return k * 8
+}
+
+// rankChunks produces a ranked chunk list of depth fetch (0 = unlimited)
+// for the query's search signal, or nil when the query has no
+// keyword/vector component. truncated reports whether the ranking may
+// have more candidates beyond fetch — the signal SearchDocs/SearchChunks
+// use to widen after an under-fill.
+func (s *Store) rankChunks(q Query, fetch int) (ranked []Scored, truncated bool) {
+	mayHaveMore := func(list []Scored) bool {
+		return fetch > 0 && len(list) >= fetch && fetch < len(s.chunks)
 	}
 	switch {
 	case q.Keyword != "" && q.Vector != nil:
-		// Hybrid: reciprocal-rank fusion of both rankings.
+		// Hybrid: reciprocal-rank fusion of both rankings. The fused list
+		// may be incomplete when either side hit its fetch cap OR the
+		// union itself got truncated to fetch (both sides under their
+		// caps can still fuse to more than fetch distinct chunks).
 		kw := s.bm25.search(q.Keyword, fetch)
 		vs := s.vec.Search(q.Vector, fetch)
-		return fuseRRF(kw, vs, fetch)
+		fused := fuseRRF(kw, vs, fetch)
+		return fused, mayHaveMore(kw) || mayHaveMore(vs) || mayHaveMore(fused)
 	case q.Keyword != "":
-		return s.bm25.search(q.Keyword, fetch)
+		ranked = s.bm25.search(q.Keyword, fetch)
+		return ranked, mayHaveMore(ranked)
 	case q.Vector != nil:
-		return s.vec.Search(q.Vector, fetch)
+		ranked = s.vec.Search(q.Vector, fetch)
+		return ranked, mayHaveMore(ranked)
 	default:
-		return nil
+		return nil, false
 	}
 }
 
 // fuseRRF merges two rankings with reciprocal rank fusion (k=60), the
-// standard hybrid-search combiner.
+// standard hybrid-search combiner. Top-k selection is heap-bounded.
 func fuseRRF(a, b []Scored, k int) []Scored {
 	const rrfK = 60.0
 	score := map[int]float64{}
@@ -270,18 +322,16 @@ func fuseRRF(a, b []Scored, k int) []Scored {
 	}
 	add(a)
 	add(b)
+	if k > 0 && k < len(score) {
+		t := newTopK(k)
+		for d, s := range score {
+			t.offer(Scored{Doc: d, Score: s})
+		}
+		return t.take()
+	}
 	out := make([]Scored, 0, len(score))
 	for d, s := range score {
 		out = append(out, Scored{Doc: d, Score: s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
+	return selectTopK(out, 0)
 }

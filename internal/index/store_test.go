@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"aryn/internal/docmodel"
@@ -132,18 +133,33 @@ func TestKLimit(t *testing.T) {
 	}
 }
 
-func TestDocumentAccessorsAndCopySemantics(t *testing.T) {
+func TestDocumentAccessorsAndSnapshotSemantics(t *testing.T) {
 	s := buildTestStore(t)
-	d, ok := s.Document("R1")
+	// Immutable-on-write: mutating the caller's document after PutDocument
+	// must not leak into the stored snapshot.
+	original := docmodel.New("R9")
+	original.SetProperty("us_state", "TX")
+	if err := s.PutDocument(original); err != nil {
+		t.Fatal(err)
+	}
+	original.SetProperty("us_state", "MUTATED")
+	stored, ok := s.Document("R9")
 	if !ok {
-		t.Fatal("R1 missing")
+		t.Fatal("R9 missing")
 	}
-	d.SetProperty("us_state", "MUTATED")
-	d2, _ := s.Document("R1")
-	if d2.Property("us_state") != "KY" {
-		t.Error("Document must return a defensive copy")
+	if stored.Property("us_state") != "TX" {
+		t.Error("PutDocument must snapshot its input (immutable-on-write)")
 	}
-	if s.NumDocs() != 3 || s.NumChunks() != 6 {
+	// Zero-clone reads: repeated reads share the same snapshot.
+	again, _ := s.Document("R9")
+	if stored != again {
+		t.Error("Document should return the shared snapshot, not a fresh clone")
+	}
+	hits := s.SearchDocs(Query{Filter: Term("us_state", "TX")})
+	if len(hits) != 1 || hits[0].Doc != stored {
+		t.Error("SearchDocs should share the same snapshot pointer")
+	}
+	if s.NumDocs() != 4 || s.NumChunks() != 6 {
 		t.Errorf("counts: docs=%d chunks=%d", s.NumDocs(), s.NumChunks())
 	}
 	if s.VocabSize() == 0 {
@@ -151,6 +167,121 @@ func TestDocumentAccessorsAndCopySemantics(t *testing.T) {
 	}
 	if _, ok := s.Document("nope"); ok {
 		t.Error("missing doc should report !ok")
+	}
+}
+
+// TestSearchDocsUnderfillWidensFetch reproduces the K*8 over-fetch
+// exhaustion: a selective parent filter rejects every top-ranked chunk, so
+// the first pass under-fills and the store must widen to a full ranking.
+func TestSearchDocsUnderfillWidensFetch(t *testing.T) {
+	s := NewStore()
+	// 40 high-scoring non-KY docs: "engine" three times in a short chunk.
+	for i := 0; i < 40; i++ {
+		d := docmodel.New(fmt.Sprintf("N%02d", i))
+		d.SetProperty("us_state", "CA")
+		if err := s.PutDocument(d); err != nil {
+			t.Fatal(err)
+		}
+		err := s.PutChunk(Chunk{
+			ID: d.ID + "-c", ParentID: d.ID,
+			Text: "engine engine engine",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2 KY docs ranked below all of them: one "engine" diluted by padding.
+	for i := 0; i < 2; i++ {
+		d := docmodel.New(fmt.Sprintf("K%02d", i))
+		d.SetProperty("us_state", "KY")
+		if err := s.PutDocument(d); err != nil {
+			t.Fatal(err)
+		}
+		err := s.PutChunk(Chunk{
+			ID: d.ID + "-c", ParentID: d.ID,
+			Text: "engine surrounded by much much longer padding narrative text diluting term frequency statistics considerably",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// K=2 ranks 16 chunks on the first pass — all CA. The widened retry
+	// must still find both KY docs.
+	hits := s.SearchDocs(Query{Keyword: "engine", Filter: Term("us_state", "KY"), K: 2})
+	if len(hits) != 2 {
+		t.Fatalf("filtered search should fill K=2 after widening, got %d hits", len(hits))
+	}
+	for _, h := range hits {
+		if h.Doc.Property("us_state") != "KY" {
+			t.Errorf("filter violated: %s", h.Doc.ID)
+		}
+	}
+	// Same under-fill at chunk granularity.
+	chunks := s.SearchChunks(Query{Keyword: "engine", Filter: Term("us_state", "KY"), K: 2})
+	if len(chunks) != 2 {
+		t.Fatalf("filtered chunk search should fill K=2 after widening, got %d", len(chunks))
+	}
+}
+
+// TestStoreConcurrentReadWrite interleaves writers and zero-clone readers;
+// run under -race (make test) this proves the snapshot read path is safe
+// alongside concurrent ingestion.
+func TestStoreConcurrentReadWrite(t *testing.T) {
+	s := buildTestStore(t)
+	em := embed.NewHash(1)
+	qvec := em.Embed("engine power loss")
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				d := docmodel.New(fmt.Sprintf("W%d-%03d", w, i))
+				d.SetProperty("us_state", "KY")
+				if err := s.PutDocument(d); err != nil {
+					t.Error(err)
+					return
+				}
+				err := s.PutChunk(Chunk{
+					ID: d.ID + "-c", ParentID: d.ID,
+					Text:   fmt.Sprintf("engine narrative %d from writer %d", i, w),
+					Vector: em.Embed(fmt.Sprintf("engine narrative %d", i)),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, h := range s.SearchDocs(Query{Keyword: "engine narrative", K: 5}) {
+					_ = h.Doc.Property("us_state") // read-only access
+				}
+				s.SearchChunks(Query{Vector: qvec, K: 5})
+				for _, d := range s.Documents() {
+					_ = d.Property("us_state")
+				}
+			}
+		}()
+	}
+	// Readers overlap the full write burst, then wind down.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if s.NumDocs() != 3+200 {
+		t.Errorf("docs after concurrent writes = %d, want %d", s.NumDocs(), 203)
 	}
 }
 

@@ -1,0 +1,96 @@
+package index
+
+import "sort"
+
+// This file implements bounded top-k selection over Scored candidates,
+// shared by BM25, exact kNN, and RRF fusion. Selecting k of n through a
+// size-k min-heap is O(n log k) instead of the O(n log n) full sort the
+// paths used previously, and the (Score desc, Doc asc) total order makes
+// the result independent of candidate encounter order.
+
+// scoredBetter is the global ranking order: higher score first, ties by
+// ascending chunk ordinal (deterministic across runs).
+func scoredBetter(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// topK is a bounded selector keeping the k best candidates seen so far.
+// The zero value is unusable; make one with newTopK. Not safe for
+// concurrent use.
+type topK struct {
+	k     int
+	items []Scored // min-heap on scoredBetter: worst survivor at items[0]
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, items: make([]Scored, 0, k)}
+}
+
+// offer considers one candidate, evicting the current worst when full.
+func (t *topK) offer(s Scored) {
+	if len(t.items) < t.k {
+		t.items = append(t.items, s)
+		t.up(len(t.items) - 1)
+		return
+	}
+	if !scoredBetter(s, t.items[0]) {
+		return
+	}
+	t.items[0] = s
+	t.down(0)
+}
+
+// take returns the survivors ordered best-first and resets the selector.
+func (t *topK) take() []Scored {
+	out := t.items
+	t.items = nil
+	sort.Slice(out, func(i, j int) bool { return scoredBetter(out[i], out[j]) })
+	return out
+}
+
+func (t *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		// Min-heap on "better": the worst candidate bubbles to the root.
+		if !scoredBetter(t.items[parent], t.items[i]) {
+			break
+		}
+		t.items[parent], t.items[i] = t.items[i], t.items[parent]
+		i = parent
+	}
+}
+
+func (t *topK) down(i int) {
+	n := len(t.items)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && scoredBetter(t.items[worst], t.items[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && scoredBetter(t.items[worst], t.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.items[i], t.items[worst] = t.items[worst], t.items[i]
+		i = worst
+	}
+}
+
+// selectTopK ranks candidates and returns the best k (all of them, fully
+// sorted, when k <= 0).
+func selectTopK(cands []Scored, k int) []Scored {
+	if k <= 0 || k >= len(cands) {
+		sort.Slice(cands, func(i, j int) bool { return scoredBetter(cands[i], cands[j]) })
+		return cands
+	}
+	t := newTopK(k)
+	for _, s := range cands {
+		t.offer(s)
+	}
+	return t.take()
+}

@@ -1,10 +1,11 @@
 package index
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"aryn/internal/embed"
 )
@@ -20,40 +21,104 @@ type VectorSearcher interface {
 	Len() int
 }
 
-// Exact is brute-force kNN: always correct, O(n·d) per query.
+// unitVector returns vec scaled to unit L2 norm. Vectors already unit
+// (within float32 rounding — everything embed.Hash emits) are returned
+// as-is; others are copied so the caller's slice is never mutated. With
+// unit vectors indexed, cosine similarity reduces to a plain dot product
+// and searches skip the per-comparison norm recomputation of Cosine.
+func unitVector(vec []float32) []float32 {
+	var sum float64
+	for _, v := range vec {
+		sum += float64(v) * float64(v)
+	}
+	if sum == 0 || math.Abs(sum-1) <= 1e-6 {
+		return vec
+	}
+	inv := float32(1 / math.Sqrt(sum))
+	cp := make([]float32, len(vec))
+	for i, v := range vec {
+		cp[i] = v * inv
+	}
+	return cp
+}
+
+// Exact is brute-force kNN: always correct, O(n·d) per query. Searches
+// over large corpora shard the scan across a worker pool.
 type Exact struct {
 	ids  []int
 	vecs [][]float32
 }
 
+// exactShardMin is the corpus size at which Search fans the scan out
+// across CPUs; below it the goroutine overhead outweighs the win.
+const exactShardMin = 4096
+
 // NewExact returns an empty brute-force index.
 func NewExact() *Exact { return &Exact{} }
 
-// Add indexes vec under id.
+// Add indexes vec under id (normalized to unit length).
 func (e *Exact) Add(id int, vec []float32) {
 	e.ids = append(e.ids, id)
-	e.vecs = append(e.vecs, vec)
+	e.vecs = append(e.vecs, unitVector(vec))
 }
 
 // Len reports the number of indexed vectors.
 func (e *Exact) Len() int { return len(e.ids) }
 
-// Search scans all vectors and returns the k most similar.
+// Search scans all vectors and returns the k most similar (all of them,
+// ranked, when k <= 0). Ties break by ascending id.
 func (e *Exact) Search(query []float32, k int) []Scored {
-	out := make([]Scored, 0, len(e.ids))
-	for i, v := range e.vecs {
-		out = append(out, Scored{Doc: e.ids[i], Score: embed.Cosine(query, v)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	q := unitVector(query)
+	n := len(e.ids)
+	if k <= 0 || k >= n {
+		out := make([]Scored, n)
+		for i, v := range e.vecs {
+			out[i] = Scored{Doc: e.ids[i], Score: embed.Dot(q, v)}
 		}
-		return out[i].Doc < out[j].Doc
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+		return selectTopK(out, k)
 	}
-	return out
+
+	workers := runtime.GOMAXPROCS(0)
+	if max := n / exactShardMin; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		t := newTopK(k)
+		for i, v := range e.vecs {
+			t.offer(Scored{Doc: e.ids[i], Score: embed.Dot(q, v)})
+		}
+		return t.take()
+	}
+
+	// Sharded scan: each worker heap-selects its shard's top-k, then the
+	// per-shard winners merge through one more selection. The (Score, Doc)
+	// total order makes the result identical to the single-threaded scan.
+	var wg sync.WaitGroup
+	parts := make([][]Scored, workers)
+	stride := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*stride, (w+1)*stride
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t := newTopK(k)
+			for i := lo; i < hi; i++ {
+				t.offer(Scored{Doc: e.ids[i], Score: embed.Dot(q, e.vecs[i])})
+			}
+			parts[w] = t.take()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := newTopK(k)
+	for _, part := range parts {
+		for _, s := range part {
+			merged.offer(s)
+		}
+	}
+	return merged.take()
 }
 
 // HNSW is a hierarchical navigable small-world graph index
@@ -73,6 +138,34 @@ type HNSW struct {
 	entry   int
 	maxL    int
 	started bool
+
+	// scratch pools per-search state (visited marks, beam heaps) so the
+	// hot path allocates nothing per hop. Pooled rather than owned so
+	// concurrent searches (the store runs them under RLock) each get
+	// their own buffers.
+	scratch sync.Pool
+}
+
+// hnswScratch is the reusable per-search state.
+type hnswScratch struct {
+	visited []uint32 // node -> generation mark (== gen means visited)
+	gen     uint32
+	cand    distHeap
+	res     distHeap
+}
+
+// mark records node as visited, reporting whether it already was.
+func (sc *hnswScratch) mark(node, size int) bool {
+	if len(sc.visited) < size {
+		grown := make([]uint32, size*2)
+		copy(grown, sc.visited)
+		sc.visited = grown
+	}
+	if sc.visited[node] == sc.gen {
+		return true
+	}
+	sc.visited[node] = sc.gen
+	return false
 }
 
 // NewHNSW builds an empty HNSW index with standard parameters (M=16,
@@ -80,7 +173,7 @@ type HNSW struct {
 // builds are reproducible.
 func NewHNSW(seed int64) *HNSW {
 	m := 16
-	return &HNSW{
+	h := &HNSW{
 		m:              m,
 		mmax0:          2 * m,
 		efConstruction: 128,
@@ -88,6 +181,26 @@ func NewHNSW(seed int64) *HNSW {
 		levelMult:      1 / math.Log(float64(m)),
 		rng:            rand.New(rand.NewSource(seed)),
 	}
+	h.scratch.New = func() any {
+		return &hnswScratch{cand: distHeap{min: true}, res: distHeap{min: false}}
+	}
+	return h
+}
+
+// getScratch leases per-search buffers, advancing the visited generation
+// so stale marks from earlier searches read as unvisited.
+func (h *HNSW) getScratch() *hnswScratch {
+	sc := h.scratch.Get().(*hnswScratch)
+	sc.gen++
+	if sc.gen == 0 { // wrapped: clear stale marks that now alias gen 0
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.gen = 1
+	}
+	sc.cand.items = sc.cand.items[:0]
+	sc.res.items = sc.res.items[:0]
+	return sc
 }
 
 // SetEFSearch tunes the search beam width (recall/latency trade-off).
@@ -100,10 +213,12 @@ func (h *HNSW) SetEFSearch(ef int) {
 // Len reports the number of indexed vectors.
 func (h *HNSW) Len() int { return len(h.ids) }
 
-func (h *HNSW) dist(a, b []float32) float64 { return 1 - embed.Cosine(a, b) }
+// dist is the cosine distance between unit vectors (see unitVector).
+func (h *HNSW) dist(a, b []float32) float64 { return 1 - embed.Dot(a, b) }
 
-// Add inserts vec under id.
+// Add inserts vec under id (normalized to unit length).
 func (h *HNSW) Add(id int, vec []float32) {
+	vec = unitVector(vec)
 	node := len(h.vecs)
 	level := int(math.Floor(-math.Log(h.rng.Float64()+1e-12) * h.levelMult))
 	h.vecs = append(h.vecs, vec)
@@ -153,7 +268,8 @@ func (h *HNSW) Add(id int, vec []float32) {
 	}
 }
 
-// connect links from -> to at layer l, pruning to the maxLinks closest.
+// connect links from -> to at layer l, pruning to the maxLinks closest
+// (distance ties break by node ordinal, keeping builds reproducible).
 func (h *HNSW) connect(from, to int, l, maxLinks int) {
 	if from == to {
 		return
@@ -169,11 +285,24 @@ func (h *HNSW) connect(from, to int, l, maxLinks int) {
 		// Keep the maxLinks closest neighbors.
 		base := h.vecs[from]
 		sort.Slice(nbrs, func(i, j int) bool {
-			return h.dist(base, h.vecs[nbrs[i]]) < h.dist(base, h.vecs[nbrs[j]])
+			di, dj := h.dist(base, h.vecs[nbrs[i]]), h.dist(base, h.vecs[nbrs[j]])
+			if di != dj {
+				return di < dj
+			}
+			return nbrs[i] < nbrs[j]
 		})
 		nbrs = nbrs[:maxLinks]
 	}
 	h.links[from][l] = nbrs
+}
+
+// neighborsAt returns the neighbor list of node at layer l without
+// copying; callers must not mutate it.
+func (h *HNSW) neighborsAt(node, l int) []int32 {
+	if l >= len(h.links[node]) {
+		return nil
+	}
+	return h.links[node][l]
 }
 
 // greedyClosest walks layer l greedily toward vec from start.
@@ -182,9 +311,9 @@ func (h *HNSW) greedyClosest(vec []float32, start, l int) int {
 	curD := h.dist(vec, h.vecs[cur])
 	for {
 		improved := false
-		for _, n := range h.neighbors(cur, l) {
-			if d := h.dist(vec, h.vecs[n]); d < curD {
-				cur, curD = n, d
+		for _, n := range h.neighborsAt(cur, l) {
+			if d := h.dist(vec, h.vecs[int(n)]); d < curD {
+				cur, curD = int(n), d
 				improved = true
 			}
 		}
@@ -194,70 +323,65 @@ func (h *HNSW) greedyClosest(vec []float32, start, l int) int {
 	}
 }
 
-func (h *HNSW) neighbors(node, l int) []int {
-	if l >= len(h.links[node]) {
-		return nil
-	}
-	out := make([]int, len(h.links[node][l]))
-	for i, n := range h.links[node][l] {
-		out[i] = int(n)
-	}
-	return out
-}
-
 // searchLayer runs beam search of width ef at layer l, returning candidates
-// ordered by increasing distance.
+// ordered by increasing distance (ties by ascending node ordinal, so runs
+// over identical builds are byte-reproducible).
 func (h *HNSW) searchLayer(vec []float32, entry, ef, l int) []Scored {
-	visited := map[int]bool{entry: true}
+	sc := h.getScratch()
+	defer h.scratch.Put(sc)
+
+	n := len(h.vecs)
+	sc.mark(entry, n)
 	entryD := h.dist(vec, h.vecs[entry])
-	cand := &distHeap{min: true}
-	res := &distHeap{min: false}
-	heap.Push(cand, distItem{node: entry, d: entryD})
-	heap.Push(res, distItem{node: entry, d: entryD})
+	cand, res := &sc.cand, &sc.res
+	cand.push(distItem{node: entry, d: entryD})
+	res.push(distItem{node: entry, d: entryD})
 
 	for cand.Len() > 0 {
-		c := heap.Pop(cand).(distItem)
+		c := cand.pop()
 		worst := res.peek().d
 		if c.d > worst && res.Len() >= ef {
 			break
 		}
-		for _, n := range h.neighbors(c.node, l) {
-			if visited[n] {
+		for _, n32 := range h.neighborsAt(c.node, l) {
+			nb := int(n32)
+			if sc.mark(nb, n) {
 				continue
 			}
-			visited[n] = true
-			d := h.dist(vec, h.vecs[n])
+			d := h.dist(vec, h.vecs[nb])
 			if res.Len() < ef || d < res.peek().d {
-				heap.Push(cand, distItem{node: n, d: d})
-				heap.Push(res, distItem{node: n, d: d})
+				cand.push(distItem{node: nb, d: d})
+				res.push(distItem{node: nb, d: d})
 				if res.Len() > ef {
-					heap.Pop(res)
+					res.pop()
 				}
 			}
 		}
 	}
 	out := make([]Scored, res.Len())
 	for i := len(out) - 1; i >= 0; i-- {
-		it := heap.Pop(res).(distItem)
+		it := res.pop()
 		out[i] = Scored{Doc: it.node, Score: 1 - it.d}
 	}
 	return out
 }
 
-// Search returns the top-k ids by cosine similarity.
+// Search returns the top-k ids by cosine similarity (score ties ordered
+// by ascending chunk ordinal, as Exact and BM25 do).
 func (h *HNSW) Search(query []float32, k int) []Scored {
 	if !h.started {
 		return nil
 	}
+	q := unitVector(query)
 	cur := h.entry
 	for l := h.maxL; l > 0; l-- {
-		cur = h.greedyClosest(query, cur, l)
+		cur = h.greedyClosest(q, cur, l)
 	}
 	ef := h.efSearch
 	if ef < k {
 		ef = k
 	}
-	cands := h.searchLayer(query, cur, ef, 0)
+	cands := h.searchLayer(q, cur, ef, 0)
 	out := make([]Scored, 0, k)
 	for _, c := range cands {
 		out = append(out, Scored{Doc: h.ids[c.Doc], Score: c.Score})
@@ -268,7 +392,8 @@ func (h *HNSW) Search(query []float32, k int) []Scored {
 	return out
 }
 
-// distItem / distHeap implement both min- and max-heaps over distances.
+// distItem / distHeap implement both min- and max-heaps over distances,
+// with node-ordinal tie-breaks so heap order is a total order.
 type distItem struct {
 	node int
 	d    float64
@@ -280,19 +405,61 @@ type distHeap struct {
 }
 
 func (h *distHeap) Len() int { return len(h.items) }
-func (h *distHeap) Less(i, j int) bool {
+
+// less orders the heap: min-heaps surface the closest node (ties by
+// ascending ordinal); max-heaps surface the farthest (ties by descending
+// ordinal, so trimming evicts the highest ordinal among equals first).
+func (h *distHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
 	if h.min {
-		return h.items[i].d < h.items[j].d
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.node < b.node
 	}
-	return h.items[i].d > h.items[j].d
+	if a.d != b.d {
+		return a.d > b.d
+	}
+	return a.node > b.node
 }
-func (h *distHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *distHeap) Push(x any)    { h.items = append(h.items, x.(distItem)) }
-func (h *distHeap) Pop() any {
-	it := h.items[len(h.items)-1]
-	h.items = h.items[:len(h.items)-1]
-	return it
+
+func (h *distHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
+
+func (h *distHeap) pop() distItem {
+	it := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		best := i
+		if l := 2*i + 1; l < last && h.less(l, best) {
+			best = l
+		}
+		if r := 2*i + 2; r < last && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return it
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
 func (h *distHeap) peek() distItem { return h.items[0] }
 
 var (

@@ -2,7 +2,10 @@ package index
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
+	"sort"
 	"testing"
 
 	"aryn/internal/embed"
@@ -112,6 +115,134 @@ func TestHNSWSetEFSearch(t *testing.T) {
 	h.SetEFSearch(0) // ignored
 	if h.efSearch != 256 {
 		t.Error("non-positive ef should be ignored")
+	}
+}
+
+// fullSortRanking is the pre-overhaul reference ranking: score every
+// candidate, sort the whole list by (score desc, id asc), truncate to k.
+func fullSortRanking(cands []Scored, k int) []Scored {
+	out := append([]Scored(nil), cands...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TestExactHeapSelectMatchesFullSort proves the bounded-heap (and
+// sharded) top-k path returns exactly the old full-sort ranking,
+// including duplicate-vector score ties broken by id. GOMAXPROCS is
+// raised so the sharded scan (n >= 2*exactShardMin with multiple
+// workers) is exercised even on single-core runners.
+func TestExactHeapSelectMatchesFullSort(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const dim = 32
+	vecs := randomVectors(2*exactShardMin+800, dim, 11)
+	// Duplicates exercise the id tie-break.
+	for i := 0; i < 200; i++ {
+		vecs = append(vecs, vecs[i])
+	}
+	e := NewExact()
+	for i, v := range vecs {
+		e.Add(i, v)
+	}
+	for _, q := range randomVectors(10, dim, 12) {
+		// Reference: score all candidates with the same dot product, full sort.
+		all := make([]Scored, len(vecs))
+		for i, v := range vecs {
+			all[i] = Scored{Doc: i, Score: embed.Dot(q, v)}
+		}
+		for _, k := range []int{1, 10, 100} {
+			want := fullSortRanking(all, k)
+			got := e.Search(q, k)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("k=%d: heap select diverged from full sort\ngot  %v\nwant %v", k, got[:3], want[:3])
+			}
+		}
+	}
+}
+
+// TestBM25HeapSelectMatchesFullSort proves BM25's bounded top-k equals
+// truncating the exhaustive (k=0) ranking.
+func TestBM25HeapSelectMatchesFullSort(t *testing.T) {
+	ix := newBM25()
+	words := []string{"engine", "wing", "fuel", "pilot", "runway", "fire", "stall"}
+	for i := 0; i < 500; i++ {
+		text := fmt.Sprintf("%s %s %s report %d",
+			words[i%len(words)], words[(i/3)%len(words)], words[(i/5)%len(words)], i)
+		ix.add(i, text)
+	}
+	for _, query := range []string{"engine fire", "pilot runway stall", "wing"} {
+		all := ix.search(query, 0)
+		for _, k := range []int{1, 7, 50} {
+			want := all
+			if len(want) > k {
+				want = want[:k]
+			}
+			got := ix.search(query, k)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("query %q k=%d: heap select diverged from full ranking", query, k)
+			}
+		}
+	}
+}
+
+// TestHNSWDeterministicTies indexes duplicate vectors and checks that
+// equal-score results come back in ascending id order, identically across
+// two independent builds — byte-reproducible ANN output.
+func TestHNSWDeterministicTies(t *testing.T) {
+	base := randomVectors(30, 16, 21)
+	build := func() *HNSW {
+		h := NewHNSW(9)
+		id := 0
+		for _, v := range base {
+			// Three copies of every vector: every score is a 3-way tie.
+			for c := 0; c < 3; c++ {
+				h.Add(id, v)
+				id++
+			}
+		}
+		return h
+	}
+	a, b := build(), build()
+	for qi, q := range randomVectors(10, 16, 22) {
+		ra, rb := a.Search(q, 12), b.Search(q, 12)
+		if fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("query %d: identical builds returned different rankings", qi)
+		}
+		for i := 1; i < len(ra); i++ {
+			if ra[i].Score == ra[i-1].Score && ra[i].Doc < ra[i-1].Doc {
+				t.Fatalf("query %d: tie at %d not ordered by ordinal: %v", qi, i, ra)
+			}
+		}
+	}
+}
+
+// TestExactNormalizationPreservesCosine checks that indexing non-unit
+// vectors still ranks by true cosine similarity (Add normalizes copies,
+// never the caller's slice).
+func TestExactNormalizationPreservesCosine(t *testing.T) {
+	e := NewExact()
+	raw := []float32{3, 4, 0, 0}
+	rawCopy := append([]float32(nil), raw...)
+	e.Add(0, raw)
+	e.Add(1, []float32{0, 0, 5, 0})
+	for i := range raw {
+		if raw[i] != rawCopy[i] {
+			t.Fatal("Add must not mutate the caller's vector")
+		}
+	}
+	res := e.Search([]float32{6, 8, 0, 0}, 2)
+	if res[0].Doc != 0 || math.Abs(res[0].Score-1) > 1e-6 {
+		t.Errorf("parallel vector should score cosine 1, got %+v", res[0])
+	}
+	if math.Abs(res[1].Score) > 1e-6 {
+		t.Errorf("orthogonal vector should score 0, got %+v", res[1])
 	}
 }
 

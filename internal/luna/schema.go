@@ -37,7 +37,8 @@ func (s Schema) Field(name string) *SchemaField {
 
 // InferSchema derives the schema from the documents stored in the index:
 // every property name with its observed type and up to three sample
-// values, alphabetically ordered.
+// values, alphabetically ordered. It only reads, so it runs over the
+// store's shared zero-clone snapshots — planning never copies the corpus.
 func InferSchema(store *index.Store) Schema {
 	type agg struct {
 		typ      string

@@ -57,6 +57,8 @@ func (p *Pipeline) Answer(ctx context.Context, question string) (*Response, erro
 		p.K = 100
 	}
 	vec := p.Embedder.Embed(question)
+	// SearchChunks hits are read-only store snapshots; the loop below only
+	// reads chunk text, so the zero-clone path is safe here.
 	hits := p.Store.SearchChunks(index.Query{Vector: vec, K: p.K})
 	chunks := make([]llm.RAGChunk, 0, len(hits))
 	poisoned := 0
