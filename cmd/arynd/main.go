@@ -1,0 +1,130 @@
+// Command arynd runs Aryn as a long-lived network service: it boots a
+// wired core.System, optionally warm-starts the LLM response cache and
+// pre-ingests a synthetic corpus, and serves the concurrent query layer
+// (internal/server) with graceful shutdown — the deployment shape of the
+// paper, where DocParse and Luna sit behind endpoints that many analysts
+// hit at once.
+//
+// Usage:
+//
+//	arynd -addr :8088 -docs 200                      # boot with a corpus
+//	arynd -addr :8088 -llm-cache /var/aryn/llm.cache # warm-start + persist
+//	curl -s localhost:8088/healthz
+//	curl -s -X POST localhost:8088/query -d '{"question":"How many incidents were there?"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aryn/internal/core"
+	"aryn/internal/ntsb"
+	"aryn/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8088", "listen address")
+		docs        = flag.Int("docs", 0, "pre-ingest this many synthetic NTSB accidents at boot (0 = start empty)")
+		seed        = flag.Int64("seed", 42, "corpus seed for -docs")
+		sysSeed     = flag.Int64("system-seed", 7, "system (LLM/models) seed")
+		parallelism = flag.Int("parallelism", 8, "Sycamore stage parallelism")
+		llmCache    = flag.String("llm-cache", "", "LLM response cache path: warm-start from it at boot, persist back on shutdown")
+		maxInFlight = flag.Int("max-inflight", 16, "max concurrently executing requests")
+		maxWaiters  = flag.Int("max-waiters", 64, "max requests queued for a slot before shedding 429s")
+		queueWait   = flag.Duration("queue-wait", 2*time.Second, "max time a queued request waits for a slot")
+		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "idle chat session eviction TTL")
+		maxSessions = flag.Int("max-sessions", 1024, "max live chat sessions")
+		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request execution deadline")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *docs, *seed, *sysSeed, *parallelism, *llmCache, server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxWaiters:     *maxWaiters,
+		QueueWait:      *queueWait,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *reqTimeout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "arynd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache string, cfg server.Config) error {
+	sys := core.New(core.Config{
+		Seed:         sysSeed,
+		Parallelism:  parallelism,
+		LLMCachePath: llmCache,
+	})
+	if llmCache != "" {
+		log.Printf("arynd: LLM cache warm-start from %s", llmCache)
+	}
+
+	if docs > 0 {
+		log.Printf("arynd: ingesting %d synthetic NTSB accidents (seed %d)...", docs, seed)
+		corpus, err := ntsb.GenerateCorpus(docs, seed)
+		if err != nil {
+			return err
+		}
+		blobs, err := corpus.Blobs()
+		if err != nil {
+			return err
+		}
+		stats, err := sys.Ingest(context.Background(), blobs)
+		if err != nil {
+			return err
+		}
+		log.Printf("arynd: ingested %d documents / %d chunks in %s (%d LLM calls)",
+			stats.Documents, stats.Chunks, stats.Wall.Round(time.Millisecond), stats.Usage.Calls)
+	}
+
+	srv := server.New(sys, cfg)
+	defer srv.Close()
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("arynd: listening on %s (max-inflight=%d max-waiters=%d)",
+			addr, cfg.MaxInFlight, cfg.MaxWaiters)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case sig := <-sigc:
+		log.Printf("arynd: %s received, draining...", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("arynd: shutdown: %v", err)
+		}
+	}
+
+	if llmCache != "" {
+		if err := sys.SaveLLMCache(llmCache); err != nil {
+			log.Printf("arynd: persist LLM cache: %v", err)
+		} else {
+			log.Printf("arynd: LLM cache persisted to %s", llmCache)
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"aryn/internal/docmodel"
@@ -48,6 +49,12 @@ type Config struct {
 }
 
 // System is a fully wired Aryn instance.
+//
+// The query-facing fields (Schema, Query, Conv) are replaced wholesale by
+// Prepare after each ingest; concurrent readers (the serving layer) must
+// go through the accessors — QueryService, NewSession, Ready, Ask — which
+// synchronize against that swap. Direct field access remains fine for
+// single-goroutine CLI/example use.
 type System struct {
 	Config   Config
 	Sim      *llm.Sim
@@ -61,6 +68,10 @@ type System struct {
 	Query    *luna.Service
 	Conv     *luna.Conversation
 	RAG      *rag.Pipeline
+
+	// mu guards the Prepare swap of Schema/Query/Conv against concurrent
+	// accessor reads.
+	mu sync.RWMutex
 }
 
 // New builds a system: the Sim LLM (with Luna's planner skill registered)
@@ -189,30 +200,56 @@ func (s *System) Ingest(ctx context.Context, blobs map[string][]byte) (*IngestSt
 		elements += len(c.Elements)
 	}
 	s.Prepare()
-	usage := s.LLM.Usage()
-	usage.Calls -= before.Calls
-	usage.PromptTokens -= before.PromptTokens
-	usage.CompletionTokens -= before.CompletionTokens
 	return &IngestStats{
 		Documents: s.Store.NumDocs(),
 		Chunks:    s.Store.NumChunks(),
 		Elements:  elements,
 		Wall:      time.Since(start),
-		Usage:     usage,
+		Usage:     s.LLM.Usage().Sub(before),
 		LLM:       s.Stack.StackStats().Sub(llmBefore),
 	}, nil
 }
 
 // Prepare (re)infers the schema from the store and wires the Luna query
 // service and conversation. Called automatically by Ingest; call it
-// manually after loading a persisted store.
+// manually after loading a persisted store. Safe to call while queries
+// are in flight: readers using the accessors see either the old or the
+// new service, never a half-built one.
 func (s *System) Prepare() {
-	s.Schema = luna.InferSchema(s.Store)
-	s.Query = &luna.Service{
-		Planner:  luna.NewPlanner(s.LLM, s.Schema),
+	schema := luna.InferSchema(s.Store)
+	query := &luna.Service{
+		Planner:  luna.NewPlanner(s.LLM, schema),
 		Executor: &luna.Executor{EC: s.EC, Store: s.Store},
 	}
-	s.Conv = luna.NewConversation(s.Query)
+	conv := luna.NewConversation(query)
+	s.mu.Lock()
+	s.Schema = schema
+	s.Query = query
+	s.Conv = conv
+	s.mu.Unlock()
+}
+
+// QueryService returns the current Luna service (nil before any ingest).
+// The returned service is stateless and safe for concurrent Ask calls.
+func (s *System) QueryService() *luna.Service {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Query
+}
+
+// Ready reports whether the system has ingested data and can answer
+// queries.
+func (s *System) Ready() bool { return s.QueryService() != nil }
+
+// NewSession opens an independent conversation over the current query
+// service, so each client gets isolated follow-up history (the serving
+// layer opens one per chat session).
+func (s *System) NewSession() (*luna.Conversation, error) {
+	q := s.QueryService()
+	if q == nil {
+		return nil, fmt.Errorf("core: no data ingested yet")
+	}
+	return luna.NewConversation(q), nil
 }
 
 // LLMStats snapshots the middleware counters (cache hit/miss, singleflight
@@ -224,12 +261,16 @@ func (s *System) LLMStats() llm.StackStats { return s.Stack.StackStats() }
 func (s *System) SaveLLMCache(path string) error { return s.Stack.SaveCache(path) }
 
 // Ask answers a natural-language question through Luna (conversational:
-// follow-ups resolve against the previous query).
+// follow-ups resolve against the previous query) using the system's
+// default shared conversation.
 func (s *System) Ask(ctx context.Context, question string) (*luna.Result, error) {
-	if s.Conv == nil {
+	s.mu.RLock()
+	conv := s.Conv
+	s.mu.RUnlock()
+	if conv == nil {
 		return nil, fmt.Errorf("core: no data ingested yet")
 	}
-	return s.Conv.Ask(ctx, question)
+	return conv.Ask(ctx, question)
 }
 
 // AskRAG answers through the RAG baseline for comparison.

@@ -57,6 +57,16 @@ func (u *Usage) Add(other Usage) {
 	u.CompletionTokens += other.CompletionTokens
 }
 
+// Sub returns the delta u − prev, for before/after snapshots around a
+// pipeline run (mirrors StackStats.Sub).
+func (u Usage) Sub(prev Usage) Usage {
+	return Usage{
+		Calls:            u.Calls - prev.Calls,
+		PromptTokens:     u.PromptTokens - prev.PromptTokens,
+		CompletionTokens: u.CompletionTokens - prev.CompletionTokens,
+	}
+}
+
 // Total returns total tokens in + out.
 func (u Usage) Total() int { return u.PromptTokens + u.CompletionTokens }
 

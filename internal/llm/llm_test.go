@@ -69,6 +69,19 @@ func TestStateHelpers(t *testing.T) {
 	}
 }
 
+func TestUsageSub(t *testing.T) {
+	after := Usage{Calls: 10, PromptTokens: 500, CompletionTokens: 120}
+	before := Usage{Calls: 4, PromptTokens: 180, CompletionTokens: 50}
+	got := after.Sub(before)
+	want := Usage{Calls: 6, PromptTokens: 320, CompletionTokens: 70}
+	if got != want {
+		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+	if (after.Sub(Usage{})) != after {
+		t.Error("Sub of zero snapshot should be identity")
+	}
+}
+
 func TestMeterAccumulates(t *testing.T) {
 	sim := NewSim(1)
 	m := NewMeter(sim)

@@ -3,16 +3,24 @@ package luna
 import (
 	"context"
 	"strings"
+	"sync"
 )
 
 // Conversation wraps a Service with history so users can ask follow-up
 // questions that implicitly refer to the previous query — "what about
 // incidents without substantial damage", "show only results in
 // California" (§6.2).
+//
+// Ask, Last, and Turns are safe for concurrent use: an internal mutex
+// serializes turns so parallel clients of one conversation cannot
+// interleave history (the serving layer relies on this). Direct History
+// reads are only safe once no Ask is in flight.
 type Conversation struct {
 	Service *Service
 	// History records every exchange in order.
 	History []*Result
+
+	mu sync.Mutex
 }
 
 // NewConversation starts an empty conversation over the service.
@@ -36,8 +44,11 @@ func followUpFragment(question string) string {
 
 // Ask answers the question, resolving follow-ups against the previous
 // plan: the fragment's filters replace same-field filters in the prior
-// plan's root scan while the terminal shape is kept.
+// plan's root scan while the terminal shape is kept. Turns are serialized:
+// a follow-up always resolves against a fully recorded previous result.
 func (c *Conversation) Ask(ctx context.Context, question string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	fragment := followUpFragment(question)
 	if fragment == "" || len(c.History) == 0 {
 		res, err := c.Service.Ask(ctx, question)
@@ -108,8 +119,17 @@ func (c *Conversation) mergeFollowUp(prev *LogicalPlan, fragment string) *Logica
 
 // Last returns the most recent result (nil if none).
 func (c *Conversation) Last() *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.History) == 0 {
 		return nil
 	}
 	return c.History[len(c.History)-1]
+}
+
+// Turns reports how many exchanges the conversation has recorded.
+func (c *Conversation) Turns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.History)
 }

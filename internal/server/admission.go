@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// gate is the bounded admission-control layer: at most slots requests
+// execute at once, at most maxWaiters more wait (briefly) for a slot, and
+// everything beyond that is shed immediately. Shedding with 429 instead
+// of queueing keeps tail latency bounded when the system is saturated —
+// the server degrades by refusing work, not by collapsing.
+type gate struct {
+	slots      chan struct{}
+	maxWaiters int64
+	maxWait    time.Duration
+
+	waiters atomic.Int64
+	// waitersHigh is the high-water mark of concurrent waiters, proving
+	// in tests that the queue really is bounded.
+	waitersHigh atomic.Int64
+	inFlight    atomic.Int64
+	admitted    atomic.Int64
+	shed        atomic.Int64
+}
+
+func newGate(maxInFlight, maxWaiters int, maxWait time.Duration) *gate {
+	return &gate{
+		slots:      make(chan struct{}, maxInFlight),
+		maxWaiters: int64(maxWaiters),
+		maxWait:    maxWait,
+	}
+}
+
+// acquire tries to admit one request. On success it returns a release
+// func the caller must invoke when done. On failure (queue full, wait
+// timeout, or caller cancellation) it returns ok=false and the caller
+// should answer 429 with the suggested Retry-After.
+func (g *gate) acquire(ctx context.Context) (release func(), ok bool) {
+	select {
+	case g.slots <- struct{}{}:
+		return g.admit(), true
+	default:
+	}
+
+	// No free slot: join the bounded wait queue.
+	w := g.waiters.Add(1)
+	if w > g.maxWaiters {
+		g.waiters.Add(-1)
+		g.shed.Add(1)
+		return nil, false
+	}
+	defer g.waiters.Add(-1)
+	for {
+		high := g.waitersHigh.Load()
+		if w <= high || g.waitersHigh.CompareAndSwap(high, w) {
+			break
+		}
+	}
+
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.admit(), true
+	case <-timer.C:
+		g.shed.Add(1)
+		return nil, false
+	case <-ctx.Done():
+		g.shed.Add(1)
+		return nil, false
+	}
+}
+
+func (g *gate) admit() func() {
+	g.inFlight.Add(1)
+	g.admitted.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			g.inFlight.Add(-1)
+			<-g.slots
+		}
+	}
+}
+
+// retryAfter suggests how long a shed client should back off: one full
+// wait window, rounded up to at least a second for the HTTP header.
+func (g *gate) retryAfter() time.Duration {
+	if g.maxWait < time.Second {
+		return time.Second
+	}
+	return g.maxWait
+}
+
+// gateStats is the admission snapshot reported by /stats.
+type gateStats struct {
+	InFlight    int64 `json:"in_flight"`
+	Waiters     int64 `json:"waiters"`
+	WaitersHigh int64 `json:"waiters_high_water"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+}
+
+func (g *gate) stats() gateStats {
+	return gateStats{
+		InFlight:    g.inFlight.Load(),
+		Waiters:     g.waiters.Load(),
+		WaitersHigh: g.waitersHigh.Load(),
+		Admitted:    g.admitted.Load(),
+		Shed:        g.shed.Load(),
+	}
+}

@@ -1,0 +1,541 @@
+// Package server is the concurrent query-serving layer: it exposes a
+// wired core.System over HTTP so many analysts hit one Aryn instance at
+// once — the service shape of the paper (§3, Figure 1), where DocParse
+// and Luna run behind network endpoints rather than a library call.
+//
+// Endpoints:
+//
+//	POST /ingest   load documents (raw blobs or a generated NTSB corpus)
+//	POST /query    one-shot Luna question (or ?rag via the baseline)
+//	POST /chat     stateful conversational session with follow-ups
+//	GET  /stats    LLM middleware counters, index size, serving stats
+//	GET  /healthz  liveness + readiness (never gated by admission)
+//
+// Concurrency model: every work request passes a bounded admission gate
+// (MaxInFlight executing, MaxWaiters queued, beyond that 429 +
+// Retry-After); chat sessions are isolated conversations whose turns
+// serialize internally; ingest is exclusive per run and never blocks
+// queries — but it indexes into the shared store incrementally, so a
+// query racing an ingest may observe a partially loaded corpus (what is
+// swapped atomically at the end is the schema + query service, not the
+// document set).
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aryn/internal/core"
+	"aryn/internal/llm"
+	"aryn/internal/luna"
+	"aryn/internal/ntsb"
+)
+
+// Config tunes the serving layer. Zero values pick sane defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing work requests (default 16).
+	MaxInFlight int
+	// MaxWaiters bounds requests queued for a slot; beyond this the
+	// server sheds with 429 (default 64).
+	MaxWaiters int
+	// QueueWait is how long a queued request waits for a slot before
+	// being shed (default 2s).
+	QueueWait time.Duration
+	// SessionTTL evicts idle chat sessions (default 30m).
+	SessionTTL time.Duration
+	// MaxSessions caps live chat sessions (default 1024).
+	MaxSessions int
+	// RequestTimeout bounds one query/chat execution (default 60s).
+	RequestTimeout time.Duration
+	// IngestTimeout bounds one ingest run (default 10m).
+	IngestTimeout time.Duration
+	// MaxIngestDocs caps the synthetic-corpus size one /ingest request
+	// may ask for (default 10000).
+	MaxIngestDocs int
+	// MaxIngestBodyBytes caps an /ingest request body (default 64 MiB) —
+	// blob uploads are big but must not be unbounded.
+	MaxIngestBodyBytes int64
+	// MaxBodyBytes caps every other request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxWaiters <= 0 {
+		c.MaxWaiters = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.IngestTimeout <= 0 {
+		c.IngestTimeout = 10 * time.Minute
+	}
+	if c.MaxIngestDocs <= 0 {
+		c.MaxIngestDocs = 10000
+	}
+	if c.MaxIngestBodyBytes <= 0 {
+		c.MaxIngestBodyBytes = 64 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server serves one core.System to concurrent clients.
+type Server struct {
+	sys      *core.System
+	cfg      Config
+	gate     *gate
+	sessions *sessionTable
+	mux      *http.ServeMux
+	start    time.Time
+
+	// ingestMu makes ingest runs exclusive: a second concurrent /ingest
+	// gets 409 instead of racing the pipeline.
+	ingestMu sync.Mutex
+
+	traceSeq atomic.Uint64
+	requests atomic.Int64
+}
+
+// New wraps sys in a serving layer.
+func New(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:      sys,
+		cfg:      cfg,
+		gate:     newGate(cfg.MaxInFlight, cfg.MaxWaiters, cfg.QueueWait),
+		sessions: newSessionTable(cfg.SessionTTL, cfg.MaxSessions),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /ingest", s.gated(s.handleIngest))
+	s.mux.HandleFunc("POST /query", s.gated(s.handleQuery))
+	s.mux.HandleFunc("POST /chat", s.gated(s.handleChat))
+	return s
+}
+
+// Handler returns the root handler (trace-ID middleware over the mux).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		trace := s.newTraceID()
+		w.Header().Set("X-Trace-Id", trace)
+		r = r.WithContext(withTrace(r.Context(), trace))
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close stops background work (the session janitor).
+func (s *Server) Close() { s.sessions.close() }
+
+// gated wraps a work handler with admission control: shed with 429 +
+// Retry-After when saturated, and bound the request context so a stuck
+// client cannot pin a slot forever. Cancellation flows through the
+// context into the LLM middleware, which aborts queued calls.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.gate.acquire(r.Context())
+		if !ok {
+			retry := s.gate.retryAfter()
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+			s.writeError(w, r, http.StatusTooManyRequests,
+				fmt.Errorf("server saturated (%d in flight, %d queued); retry in %s",
+					s.cfg.MaxInFlight, s.cfg.MaxWaiters, retry))
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// ---- request / response shapes ----
+
+// IngestRequest loads documents: either raw blobs (base64 rawdoc
+// binaries keyed by document ID) or a generated synthetic NTSB corpus.
+type IngestRequest struct {
+	// Blobs are base64-encoded rawdoc binaries keyed by document ID.
+	Blobs map[string]string `json:"blobs,omitempty"`
+	// Docs generates that many synthetic NTSB reports when Blobs is empty.
+	Docs int `json:"docs,omitempty"`
+	// Seed drives the synthetic corpus (default 42).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// IngestResponse summarizes one ingest run.
+type IngestResponse struct {
+	TraceID   string         `json:"trace_id"`
+	Documents int            `json:"documents"`
+	Chunks    int            `json:"chunks"`
+	Elements  int            `json:"elements"`
+	WallMS    int64          `json:"wall_ms"`
+	Usage     llm.Usage      `json:"usage"`
+	LLM       llm.StackStats `json:"llm"`
+}
+
+// QueryRequest is a one-shot question.
+type QueryRequest struct {
+	Question string `json:"question"`
+	// RAG answers through the retrieval-augmented baseline instead of Luna.
+	RAG bool `json:"rag,omitempty"`
+	// IncludePlan attaches the logical plan JSON to the response.
+	IncludePlan bool `json:"include_plan,omitempty"`
+}
+
+// QueryResponse is the answer to a one-shot question.
+type QueryResponse struct {
+	TraceID  string          `json:"trace_id"`
+	Question string          `json:"question"`
+	Answer   string          `json:"answer"`
+	Kind     string          `json:"kind,omitempty"`
+	Docs     int             `json:"docs,omitempty"`
+	Plan     json.RawMessage `json:"plan,omitempty"`
+	LLM      *llm.StackStats `json:"llm,omitempty"`
+	WallMS   int64           `json:"wall_ms"`
+}
+
+// ChatRequest is one conversational turn. Omit SessionID to open a new
+// session; reuse the returned one for follow-ups ("what about …").
+type ChatRequest struct {
+	SessionID string `json:"session_id,omitempty"`
+	Question  string `json:"question"`
+}
+
+// ChatResponse is one conversational answer.
+type ChatResponse struct {
+	TraceID   string `json:"trace_id"`
+	SessionID string `json:"session_id"`
+	// Turn is the 1-based conversation length after this exchange —
+	// clients can assert their session state was neither lost nor
+	// interleaved with another session's.
+	Turn   int    `json:"turn"`
+	Answer string `json:"answer"`
+	Kind   string `json:"kind,omitempty"`
+	WallMS int64  `json:"wall_ms"`
+}
+
+// StatsResponse is the /stats snapshot.
+type StatsResponse struct {
+	TraceID  string         `json:"trace_id"`
+	UptimeMS int64          `json:"uptime_ms"`
+	Requests int64          `json:"requests"`
+	Ready    bool           `json:"ready"`
+	Docs     int            `json:"docs"`
+	Chunks   int            `json:"chunks"`
+	Usage    llm.Usage      `json:"usage"`
+	LLM      llm.StackStats `json:"llm"`
+	Gate     gateStats      `json:"admission"`
+	Sessions sessionStats   `json:"sessions"`
+}
+
+type sessionStats struct {
+	Live    int   `json:"live"`
+	Evicted int64 `json:"evicted"`
+}
+
+type errorResponse struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"ready":    s.sys.Ready(),
+		"docs":     s.sys.Store.NumDocs(),
+		"chunks":   s.sys.Store.NumChunks(),
+		"trace_id": traceFrom(r.Context()),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		TraceID:  traceFrom(r.Context()),
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Requests: s.requests.Load(),
+		Ready:    s.sys.Ready(),
+		Docs:     s.sys.Store.NumDocs(),
+		Chunks:   s.sys.Store.NumChunks(),
+		Usage:    s.sys.LLM.Usage(),
+		LLM:      s.sys.LLMStats(),
+		Gate:     s.gate.stats(),
+		Sessions: sessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !s.decodeBody(w, r, s.cfg.MaxIngestBodyBytes, &req) {
+		return
+	}
+	// Claim exclusivity before materializing blobs: a rejected request
+	// should not pay for corpus generation it will throw away.
+	if !s.ingestMu.TryLock() {
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, r, http.StatusConflict, fmt.Errorf("an ingest is already in progress"))
+		return
+	}
+	defer s.ingestMu.Unlock()
+	blobs, err := s.ingestBlobs(req)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.IngestTimeout)
+	defer cancel()
+	stats, err := s.sys.Ingest(ctx, blobs)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, IngestResponse{
+		TraceID:   traceFrom(r.Context()),
+		Documents: stats.Documents,
+		Chunks:    stats.Chunks,
+		Elements:  stats.Elements,
+		WallMS:    stats.Wall.Milliseconds(),
+		Usage:     stats.Usage,
+		LLM:       stats.LLM,
+	})
+}
+
+// ingestBlobs materializes the request's document set: decoded client
+// blobs when provided, a generated NTSB corpus otherwise.
+func (s *Server) ingestBlobs(req IngestRequest) (map[string][]byte, error) {
+	if len(req.Blobs) > 0 {
+		blobs := make(map[string][]byte, len(req.Blobs))
+		for id, b64 := range req.Blobs {
+			raw, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, fmt.Errorf("blob %q: invalid base64: %w", id, err)
+			}
+			blobs[id] = raw
+		}
+		return blobs, nil
+	}
+	if req.Docs <= 0 {
+		return nil, fmt.Errorf("provide blobs or a positive docs count")
+	}
+	if req.Docs > s.cfg.MaxIngestDocs {
+		return nil, fmt.Errorf("docs %d exceeds the per-request cap %d", req.Docs, s.cfg.MaxIngestDocs)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	corpus, err := ntsb.GenerateCorpus(req.Docs, seed)
+	if err != nil {
+		return nil, fmt.Errorf("generate corpus: %w", err)
+	}
+	return corpus.Blobs()
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.Question == "" {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("question is required"))
+		return
+	}
+	if !s.sys.Ready() {
+		s.writeError(w, r, http.StatusConflict, fmt.Errorf("no data ingested yet"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+
+	if req.RAG {
+		resp, err := s.sys.AskRAG(ctx, req.Question)
+		if err != nil {
+			s.writeError(w, r, statusOf(err), err)
+			return
+		}
+		answer := resp.Answer
+		if answer == "" {
+			answer = resp.Text
+		}
+		s.writeJSON(w, http.StatusOK, QueryResponse{
+			TraceID:  traceFrom(r.Context()),
+			Question: req.Question,
+			Answer:   answer,
+			Kind:     "rag",
+			Docs:     resp.Retrieved,
+			WallMS:   time.Since(start).Milliseconds(),
+		})
+		return
+	}
+
+	res, err := s.sys.QueryService().Ask(ctx, req.Question)
+	if err != nil {
+		s.writeError(w, r, statusOf(err), err)
+		return
+	}
+	out := QueryResponse{
+		TraceID:  traceFrom(r.Context()),
+		Question: req.Question,
+		Answer:   res.Answer.String(),
+		Kind:     string(res.Answer.Kind),
+		Docs:     len(res.Docs),
+		LLM:      res.LLM,
+		WallMS:   time.Since(start).Milliseconds(),
+	}
+	if req.IncludePlan && res.Rewritten != nil {
+		out.Plan = json.RawMessage(res.Rewritten.JSON())
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	var req ChatRequest
+	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.Question == "" {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("question is required"))
+		return
+	}
+
+	var sess *session
+	fresh := false
+	if req.SessionID == "" {
+		conv, err := s.sys.NewSession()
+		if err != nil {
+			s.writeError(w, r, http.StatusConflict, err)
+			return
+		}
+		sess, err = s.sessions.create(conv)
+		if err != nil {
+			w.Header().Set("Retry-After", "30")
+			s.writeError(w, r, http.StatusTooManyRequests, err)
+			return
+		}
+		fresh = true
+	} else if sess = s.sessions.get(req.SessionID); sess == nil {
+		s.writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	// One exchange = Ask plus the turn read, under the session lock so a
+	// parallel client of the same session cannot make Turn misreport.
+	sess.mu.Lock()
+	res, err := sess.conv.Ask(ctx, req.Question)
+	turn := sess.conv.Turns()
+	sess.mu.Unlock()
+	if err != nil {
+		if fresh {
+			// The client never learned this session's ID; drop it rather
+			// than leak a MaxSessions slot until TTL eviction.
+			s.sessions.remove(sess.id)
+		}
+		s.writeError(w, r, statusOf(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ChatResponse{
+		TraceID:   traceFrom(r.Context()),
+		SessionID: sess.id,
+		Turn:      turn,
+		Answer:    res.Answer.String(),
+		Kind:      string(res.Answer.Kind),
+		WallMS:    time.Since(start).Milliseconds(),
+	})
+}
+
+// ---- plumbing ----
+
+// statusOf maps execution errors to HTTP statuses: invalid plans are the
+// client's question failing to compile (422), a deadline hit is 504,
+// everything else is a server fault.
+func statusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, luna.ErrInvalidPlan):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodeBody decodes a JSON request body capped at limit bytes, writing
+// the error response itself (413 over the cap, 400 malformed). Without
+// the cap one huge body could exhaust memory and collapse the server the
+// admission gate is there to protect.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error(), TraceID: traceFrom(r.Context())})
+}
+
+// newTraceID mints a per-request ID: a monotonic sequence (cheap ordering
+// for logs) plus the serving start time so IDs from different boots don't
+// collide.
+func (s *Server) newTraceID() string {
+	return fmt.Sprintf("t%x-%d", s.start.UnixNano()&0xffffff, s.traceSeq.Add(1))
+}
+
+type traceKey struct{}
+
+func withTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// traceFrom recovers the request's trace ID ("" outside a request).
+func traceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Server smoke test: boot arynd against the simulated LLM, run a health
+# check plus one ingest→query→chat round-trip, and fail on any non-200.
+# CI runs this on every push (make smoke); it is the end-to-end proof
+# that the serving layer, admission gate, and session plumbing hold
+# together outside the Go test harness.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${ARYND_ADDR:-127.0.0.1:8199}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/arynd"
+LOG="$(mktemp)"
+
+cleanup() {
+  status=$?
+  if [ -n "${ARYND_PID:-}" ] && kill -0 "$ARYND_PID" 2>/dev/null; then
+    kill "$ARYND_PID" 2>/dev/null || true
+    wait "$ARYND_PID" 2>/dev/null || true
+  fi
+  if [ "$status" -ne 0 ]; then
+    echo "--- arynd log ---" >&2
+    cat "$LOG" >&2 || true
+  fi
+  rm -f "$LOG"
+  rm -rf "$(dirname "$BIN")"
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "smoke: building arynd..."
+go build -o "$BIN" ./cmd/arynd
+
+echo "smoke: starting arynd on $ADDR (empty index)..."
+"$BIN" -addr "$ADDR" -docs 0 >"$LOG" 2>&1 &
+ARYND_PID=$!
+
+# Wait for the health endpoint (up to ~10s).
+for i in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$ARYND_PID" 2>/dev/null; then
+    echo "smoke: arynd died during startup" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"status": "ok"' || {
+  echo "smoke: healthz did not report ok" >&2; exit 1; }
+echo "smoke: healthz ok"
+
+echo "smoke: ingesting 16 synthetic documents..."
+INGEST=$(curl -fsS -X POST "$BASE/ingest" -d '{"docs":16,"seed":42}')
+echo "$INGEST" | grep -q '"documents": 16' || {
+  echo "smoke: ingest did not index 16 documents: $INGEST" >&2; exit 1; }
+
+echo "smoke: one-shot query..."
+QUERY=$(curl -fsS -X POST "$BASE/query" -d '{"question":"How many incidents were there?"}')
+echo "$QUERY" | grep -q '"answer": "16"' || {
+  echo "smoke: query answer should be 16: $QUERY" >&2; exit 1; }
+
+echo "smoke: chat session round-trip..."
+CHAT1=$(curl -fsS -X POST "$BASE/chat" -d '{"question":"How many incidents involved substantial damage?"}')
+SESSION=$(echo "$CHAT1" | sed -n 's/.*"session_id": "\([^"]*\)".*/\1/p')
+[ -n "$SESSION" ] || { echo "smoke: chat returned no session_id: $CHAT1" >&2; exit 1; }
+CHAT2=$(curl -fsS -X POST "$BASE/chat" -d "{\"session_id\":\"$SESSION\",\"question\":\"what about destroyed aircraft?\"}")
+echo "$CHAT2" | grep -q '"turn": 2' || {
+  echo "smoke: follow-up should be turn 2: $CHAT2" >&2; exit 1; }
+
+echo "smoke: stats snapshot..."
+STATS=$(curl -fsS "$BASE/stats")
+echo "$STATS" | grep -q '"ready": true' || {
+  echo "smoke: stats should report ready: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -q '"admitted"' || {
+  echo "smoke: stats should expose admission counters: $STATS" >&2; exit 1; }
+
+echo "smoke: graceful shutdown..."
+kill "$ARYND_PID"
+wait "$ARYND_PID" 2>/dev/null || true
+unset ARYND_PID
+
+echo "smoke: OK"
