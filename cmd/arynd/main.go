@@ -11,6 +11,13 @@
 //	arynd -addr :8088 -llm-cache /var/aryn/llm.cache # warm-start + persist
 //	curl -s localhost:8088/healthz
 //	curl -s -X POST localhost:8088/query -d '{"question":"How many incidents were there?"}'
+//
+// Plans are first-class (§6.2 inspect→edit→re-run): POST /plan returns
+// the validated DAG plan without executing it, and POST /query accepts
+// an edited plan back:
+//
+//	curl -s -X POST localhost:8088/plan  -d '{"question":"How many incidents were there?"}'
+//	curl -s -X POST localhost:8088/query -d '{"plan":{"nodes":[{"id":"n1","op":"queryDatabase"},{"id":"n2","op":"count","inputs":["n1"]}],"output":"n2"}}'
 package main
 
 import (

@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"aryn/internal/core"
+	"aryn/internal/luna"
 	"aryn/internal/ntsb"
 )
 
@@ -62,12 +63,14 @@ func main() {
 	fmt.Printf("\nQ3 (follow-up): %s\nA3: %s\n", res3.Question, res3.Answer.String())
 	fmt.Println("merged plan:", res3.Rewritten.String())
 
-	// Power-user path: edit the plan directly and re-run (the Figure 6
-	// "modify any part of the plan" affordance).
-	edited := res3.Rewritten
-	for i := range edited.Ops {
-		if edited.Ops[i].Op == "queryDatabase" {
-			edited.Ops[i].Filters = edited.Ops[i].Filters[:0] // drop all filters
+	// Power-user path: edit the plan DAG directly and re-run (the Figure
+	// 6 "modify any part of the plan" affordance). The same JSON shape is
+	// served over HTTP: POST /plan to inspect, edit, then POST /query
+	// {"plan": ...} to re-execute.
+	edited := res3.Rewritten.Clone()
+	for i := range edited.Nodes {
+		if edited.Nodes[i].Op == luna.OpQueryDatabase {
+			edited.Nodes[i].Filters = nil // drop all filters
 		}
 	}
 	res4, err := sys.Query.RunPlan(ctx, "(edited plan: no filters)", edited)
@@ -75,4 +78,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nQ4 (user-edited plan): %s -> %s\n", res4.Question, res4.Answer.String())
+
+	// Joins make plans true DAGs: two scan roots feeding one join node
+	// (the §9 "extend Aryn to support joins" direction as a logical
+	// operator). Fatal incidents that happened in a state which also saw
+	// substantially damaged aircraft.
+	joinPlan := &luna.LogicalPlan{
+		Nodes: []luna.PlanNode{
+			{ID: "fatal", LogicalOp: luna.LogicalOp{Op: luna.OpQueryDatabase,
+				Filters: []luna.FilterSpec{{Field: "fatalities", Kind: "gte", Value: 1}}}},
+			{ID: "damaged", LogicalOp: luna.LogicalOp{Op: luna.OpQueryDatabase,
+				Filters: []luna.FilterSpec{{Field: "aircraftDamage", Kind: "term", Value: "Substantial"}}}},
+			{ID: "samestate", Inputs: []string{"fatal", "damaged"}, LogicalOp: luna.LogicalOp{
+				Op: luna.OpJoin, LeftKey: "us_state", RightKey: "us_state", JoinKind: "semi"}},
+			{ID: "total", Inputs: []string{"samestate"}, LogicalOp: luna.LogicalOp{Op: luna.OpCount}},
+		},
+		Output: "total",
+	}
+	res5, err := sys.Query.RunPlan(ctx, "(join plan: fatal incidents in states with substantial damage)", joinPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ5 (DAG join plan):\n%s\n-> %s\n", joinPlan.String(), res5.Answer.String())
 }

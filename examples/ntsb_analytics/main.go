@@ -52,9 +52,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("Q: %s\nA: %s\n", q, res.Answer.String())
-		fmt.Printf("plan: %d ops", len(res.Rewritten.Ops))
-		for _, op := range res.Rewritten.Ops {
-			fmt.Printf(" | %s", op.Op)
+		fmt.Printf("plan: %d nodes", len(res.Rewritten.Nodes))
+		for _, n := range res.Rewritten.Nodes {
+			fmt.Printf(" | %s", n.Op)
 		}
 		fmt.Println()
 		// Lineage: how many documents each operator saw and emitted.

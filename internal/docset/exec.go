@@ -60,6 +60,10 @@ type stageSpec struct {
 	kind      stageKind
 	mapFn     func(*Context, *docmodel.Document) ([]*docmodel.Document, error)
 	barrierFn func(*Context, []*docmodel.Document) ([]*docmodel.Document, error)
+	// barrierCtxFn is barrierFn for stages that run nested pipelines and
+	// must honor the plan's cancellation/deadline (join's build side).
+	// Takes precedence over barrierFn when set.
+	barrierCtxFn func(context.Context, *Context, []*docmodel.Document) ([]*docmodel.Document, error)
 	// mutates marks stages that may write to their input documents
 	// (SetProperty, Text/Embedding assignment, user-supplied map
 	// functions). Shared-source plans clone at the source only when some
@@ -313,7 +317,13 @@ func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTra
 		docs[i] = env.doc
 	}
 	t0 := time.Now()
-	results, err := sp.barrierFn(ec, docs)
+	var results []*docmodel.Document
+	var err error
+	if sp.barrierCtxFn != nil {
+		results, err = sp.barrierCtxFn(ctx, ec, docs)
+	} else {
+		results, err = sp.barrierFn(ec, docs)
+	}
 	nt.addDuration(time.Since(t0))
 	if err != nil {
 		return fmt.Errorf("%s: %w", sp.name, err)

@@ -48,8 +48,10 @@ func (ds *DocSet) Join(right *DocSet, leftKey, rightKey, prefix string, kind Joi
 	return ds.with(stageSpec{
 		name: fmt.Sprintf("join[%s, %s=%s]", kind, leftKey, rightKey),
 		kind: barrierKind,
-		barrierFn: func(ec *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
-			rightDocs, _, err := right.Execute(context.Background())
+		// The build side runs under the outer plan's context, so a
+		// cancelled or timed-out query aborts right-side work too.
+		barrierCtxFn: func(ctx context.Context, ec *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
+			rightDocs, _, err := right.Execute(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("join: right side: %w", err)
 			}

@@ -3,6 +3,7 @@ package docset
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"aryn/internal/docmodel"
@@ -161,5 +162,52 @@ func TestLookupEnrichment(t *testing.T) {
 	}
 	if len(docs) != 4 {
 		t.Error("lookup must pass all docs through")
+	}
+}
+
+func TestSharedExecutesSubtreeOnce(t *testing.T) {
+	ec := NewContext()
+	left, _ := joinFixtures(ec)
+	var runs atomic.Int64
+	shared := left.Map("counted", func(d *docmodel.Document) (*docmodel.Document, error) {
+		runs.Add(1)
+		return d, nil
+	}).Shared()
+
+	// A diamond: the shared subtree probes AND builds the same join.
+	docs, _, err := shared.Join(shared, "manufacturer", "manufacturer", "self", InnerJoin).
+		Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("self-join returned nothing")
+	}
+	if got := runs.Load(); got != 4 {
+		t.Errorf("shared subtree ran its map %d times, want 4 (once per doc, one execution)", got)
+	}
+}
+
+func TestJoinBuildSideHonorsCancellation(t *testing.T) {
+	// Parallelism 1 makes the build side deterministic: its first map
+	// call cancels the query context, so the remaining two documents
+	// must never be processed — the build side runs under the outer
+	// plan's context, not context.Background().
+	ec := NewContext(WithParallelism(1))
+	left, right := joinFixtures(ec)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var runs atomic.Int64
+	cancellingRight := right.Map("cancelling", func(d *docmodel.Document) (*docmodel.Document, error) {
+		runs.Add(1)
+		cancel()
+		return d, nil
+	})
+	_, _, err := left.Join(cancellingRight, "manufacturer", "maker", "", InnerJoin).Execute(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled join should surface context.Canceled, got %v", err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("build side processed %d documents after cancellation, want 1", got)
 	}
 }

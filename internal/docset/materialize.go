@@ -2,6 +2,7 @@ package docset
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -53,6 +54,37 @@ func (ds *DocSet) MaterializeMemory(cache *MemoryCache, name string) *DocSet {
 			return docs, nil
 		},
 	})
+}
+
+// Shared returns a DocSet whose pipeline executes at most once and
+// replays its result to every consumer — the materialization a DAG plan
+// needs when one subtree feeds several downstream operators (a diamond),
+// so the shared prefix is not re-computed per consumer. The replayed
+// documents are marked shared: consumers with mutating stages clone at
+// their source, keeping branches isolated.
+func (ds *DocSet) Shared() *DocSet {
+	var once sync.Once
+	var docs []*docmodel.Document
+	var err error
+	return &DocSet{
+		ctx: ds.ctx,
+		source: sourceSpec{
+			name:   fmt.Sprintf("shared[%s +%d stages]", ds.source.name, len(ds.stages)),
+			shared: true,
+			emit: func(ctx context.Context, _ *Context, yield func(*docmodel.Document) error) error {
+				once.Do(func() { docs, _, err = ds.Execute(ctx) })
+				if err != nil {
+					return fmt.Errorf("shared subtree: %w", err)
+				}
+				for _, d := range docs {
+					if yerr := yield(d); yerr != nil {
+						return yerr
+					}
+				}
+				return nil
+			},
+		},
+	}
 }
 
 // MaterializeDisk writes the documents flowing through this point to a

@@ -24,7 +24,7 @@ type Executor struct {
 // lineage trace for the drill-down UI (§6.2).
 type Result struct {
 	Question  string
-	Plan      *LogicalPlan // as emitted by the planner
+	Plan      *LogicalPlan // as emitted by the planner (or submitted by the user)
 	Rewritten *LogicalPlan // after rule-based optimization
 	Answer    Answer
 	Trace     *docset.Trace
@@ -38,83 +38,193 @@ type Result struct {
 	LLM *llm.StackStats
 }
 
-// Run executes the plan and shapes the answer.
-func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) {
-	if len(plan.Ops) == 0 {
+// lowered is the physical form of a plan: the output DocSet pipeline plus
+// the answer-shaping facts the terminal operator needs.
+type lowered struct {
+	ds *docset.DocSet
+	// terminal is the last answer-shaping operator on the path to the
+	// output (pass-through operators like limit and distinct keep the
+	// upstream terminal, matching the historical linear executor).
+	terminal LogicalOp
+	// keyField is the group key in effect at the output (for table and
+	// top-k answer shaping), propagated through the DAG.
+	keyField string
+}
+
+// lower compiles the DAG onto DocSet pipelines in topological order. Each
+// node's DocSet is built from its inputs'; join lowers onto the physical
+// docset.Join (the second input is the build side). count and fraction
+// are answer-shaping terminals: they pass their input pipeline through
+// untouched and are resolved after execution.
+func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
+	plan.normalize()
+	if len(plan.Nodes) == 0 {
 		return nil, fmt.Errorf("%w: empty plan", ErrInvalidPlan)
 	}
-	res := &Result{Rewritten: plan}
+	order, err := plan.topoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
+	}
+	output := plan.Output
+	if output == "" {
+		return nil, fmt.Errorf("%w: plan has no output node", ErrInvalidPlan)
+	}
+	if plan.node(output) == nil {
+		return nil, fmt.Errorf("%w: output %q names no node", ErrInvalidPlan, output)
+	}
 
-	ds, err := e.root(plan.Ops[0])
+	sets := map[string]*docset.DocSet{}
+	keys := map[string]string{}
+	terminals := map[string]LogicalOp{}
+	// Fan-out counts: a node consumed by several downstream operators (a
+	// diamond) is materialized with Shared() so its subtree executes once,
+	// not once per consumer.
+	fanout := map[string]int{}
+	for _, n := range plan.Nodes {
+		for _, in := range n.Inputs {
+			fanout[in]++
+		}
+	}
+	input := func(n PlanNode, i int) (*docset.DocSet, error) {
+		if len(n.Inputs) <= i {
+			return nil, fmt.Errorf("%w: node %s: %s is missing input %d", ErrInvalidPlan, n.ID, n.Op, i)
+		}
+		ds := sets[n.Inputs[i]]
+		if ds == nil {
+			return nil, fmt.Errorf("%w: node %s: input %q not lowered", ErrInvalidPlan, n.ID, n.Inputs[i])
+		}
+		return ds, nil
+	}
+
+	for _, idx := range order {
+		n := plan.Nodes[idx]
+		// Inherit answer-shaping facts from the primary input.
+		if len(n.Inputs) > 0 {
+			keys[n.ID] = keys[n.Inputs[0]]
+			terminals[n.ID] = terminals[n.Inputs[0]]
+		}
+		switch n.Op {
+		case OpGroupByAggregate, OpLLMCluster, OpTopK, OpProject,
+			OpLLMGenerate, OpCount, OpFraction:
+			terminals[n.ID] = n.LogicalOp
+		}
+		switch n.Op {
+		case OpQueryDatabase, OpQueryVectorDatabase:
+			if len(n.Inputs) != 0 {
+				return nil, fmt.Errorf("%w: node %s: %s is a source and takes no inputs", ErrInvalidPlan, n.ID, n.Op)
+			}
+			root, rerr := e.root(n.LogicalOp)
+			if rerr != nil {
+				return nil, rerr
+			}
+			sets[n.ID] = root
+		case OpJoin:
+			left, lerr := input(n, 0)
+			if lerr != nil {
+				return nil, lerr
+			}
+			right, rerr := input(n, 1)
+			if rerr != nil {
+				return nil, rerr
+			}
+			sets[n.ID] = left.Join(right, n.LeftKey, n.RightKey, n.Prefix,
+				docset.JoinKind(joinKindOrDefault(n.JoinKind)))
+		default:
+			in, ierr := input(n, 0)
+			if ierr != nil {
+				return nil, ierr
+			}
+			switch n.Op {
+			case OpBasicFilter:
+				sets[n.ID] = in.FilterProps(compileFilters(n.Filters))
+			case OpLLMFilter:
+				sets[n.ID] = in.LLMFilter(n.Question)
+			case OpLLMExtract:
+				sets[n.ID] = in.LLMExtract(n.Fields)
+			case OpGroupByAggregate:
+				sets[n.ID] = in.GroupByAggregate(n.Key, docset.AggKind(n.Agg), n.ValueField)
+				key := n.Key
+				if key == "" {
+					key = "group"
+				}
+				keys[n.ID] = key
+			case OpLLMCluster:
+				sets[n.ID] = in.LLMCluster(n.K, nil, 17)
+			case OpTopK:
+				sets[n.ID] = in.TopK(n.Field, n.K)
+			case OpLimit:
+				sets[n.ID] = in.Limit(n.K)
+			case opDistinct:
+				sets[n.ID] = in.Distinct(n.Field)
+			case OpProject:
+				sets[n.ID] = in
+			case OpLLMGenerate:
+				sets[n.ID] = in.Summarize(n.Instruction)
+			case OpCount, OpFraction:
+				// Answer-shaping terminals: resolved post-execution over
+				// the input pipeline's documents.
+				if n.ID != output {
+					return nil, fmt.Errorf("%w: node %s: %s must be the output node", ErrInvalidPlan, n.ID, n.Op)
+				}
+				sets[n.ID] = in
+			default:
+				return nil, fmt.Errorf("%w: node %s: unknown operator %q", ErrInvalidPlan, n.ID, n.Op)
+			}
+		}
+		if fanout[n.ID] > 1 {
+			sets[n.ID] = sets[n.ID].Shared()
+		}
+	}
+	return &lowered{
+		ds:       sets[output],
+		terminal: terminals[output],
+		keyField: keys[output],
+	}, nil
+}
+
+// Compile lowers the plan and returns the physical Sycamore pipeline
+// rendering without executing it — the cheap "inspect what the optimizer
+// will run" path of the Plan API.
+func (e *Executor) Compile(plan *LogicalPlan) (string, error) {
+	low, err := e.lower(plan)
+	if err != nil {
+		return "", err
+	}
+	return low.ds.PlanString(), nil
+}
+
+// Run executes the plan and shapes the answer.
+func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) {
+	low, err := e.lower(plan)
 	if err != nil {
 		return nil, err
 	}
-
-	var terminal LogicalOp
-	var groupKeyField string
-	var projectFields []string
-	body := plan.Ops[1:]
-	for i, op := range body {
-		switch op.Op {
-		case OpBasicFilter:
-			ds = ds.FilterProps(compileFilters(op.Filters))
-		case OpLLMFilter:
-			ds = ds.LLMFilter(op.Question)
-		case OpLLMExtract:
-			ds = ds.LLMExtract(op.Fields)
-		case OpGroupByAggregate:
-			ds = ds.GroupByAggregate(op.Key, docset.AggKind(op.Agg), op.ValueField)
-			groupKeyField = op.Key
-			if groupKeyField == "" {
-				groupKeyField = "group"
-			}
-			terminal = op
-		case OpLLMCluster:
-			ds = ds.LLMCluster(op.K, nil, 17)
-			terminal = op
-		case OpTopK:
-			ds = ds.TopK(op.Field, op.K)
-			terminal = op
-		case OpLimit:
-			ds = ds.Limit(op.K)
-		case opDistinct:
-			ds = ds.Distinct(op.Field)
-		case OpProject:
-			projectFields = op.ProjectFields
-			terminal = op
-		case OpLLMGenerate:
-			ds = ds.Summarize(op.Instruction)
-			terminal = op
-		case OpCount, OpFraction:
-			if i != len(body)-1 {
-				return nil, fmt.Errorf("%w: %s must be terminal", ErrInvalidPlan, op.Op)
-			}
-			terminal = op
-		default:
-			return nil, fmt.Errorf("%w: unknown operator %q", ErrInvalidPlan, op.Op)
-		}
-	}
-
-	res.Compiled = ds.PlanString()
-	docs, trace, err := ds.Execute(ctx)
+	res := &Result{Rewritten: plan}
+	res.Compiled = low.ds.PlanString()
+	docs, trace, err := low.ds.Execute(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("luna: execute: %w", err)
 	}
 	res.Trace = trace
 	res.Docs = docs
 
-	switch terminal.Op {
+	groupKeyField := low.keyField
+	switch low.terminal.Op {
 	case OpCount:
 		res.Answer = NumberAnswer(float64(len(docs)))
 	case OpFraction:
-		ans, ferr := e.fraction(ctx, docs, terminal)
+		ans, ferr := e.fraction(ctx, docs, low.terminal)
 		if ferr != nil {
 			return nil, ferr
 		}
 		res.Answer = ans
 	case OpGroupByAggregate:
-		res.Answer = tableFromGroups(docs, groupKeyField)
-		if terminal.Key == "" && len(docs) == 1 {
+		key := low.terminal.Key
+		if key == "" {
+			key = "group"
+		}
+		res.Answer = tableFromGroups(docs, key)
+		if low.terminal.Key == "" && len(docs) == 1 {
 			// Global aggregate: a single number.
 			if v, ok := docs[0].Properties.Float("value"); ok {
 				res.Answer = NumberAnswer(v)
@@ -131,7 +241,7 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 		}
 		res.Answer = ListAnswer(keys...)
 	case OpProject:
-		res.Answer = projectAnswer(docs, projectFields)
+		res.Answer = projectAnswer(docs, low.terminal.ProjectFields)
 	case OpLLMGenerate:
 		text := ""
 		if len(docs) > 0 {
@@ -150,7 +260,7 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 	return res, nil
 }
 
-// root builds the plan's source DocSet.
+// root builds a source DocSet.
 func (e *Executor) root(op LogicalOp) (*docset.DocSet, error) {
 	switch op.Op {
 	case OpQueryDatabase:

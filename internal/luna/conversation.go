@@ -69,7 +69,11 @@ func (c *Conversation) Ask(ctx context.Context, question string) (*Result, error
 	return res, nil
 }
 
-// mergeFollowUp rewrites the previous plan with the fragment's conditions.
+// mergeFollowUp rewrites the previous plan's DAG with the fragment's
+// conditions: new property filters replace same-field filters on every
+// queryDatabase root, and new semantic predicates are inserted as
+// llmFilter nodes directly downstream of the first root, keeping the
+// terminal shape of the query.
 func (c *Conversation) mergeFollowUp(prev *LogicalPlan, fragment string) *LogicalPlan {
 	st := &parseState{
 		parser:   &parser{schema: c.Service.Planner.Schema},
@@ -78,42 +82,77 @@ func (c *Conversation) mergeFollowUp(prev *LogicalPlan, fragment string) *Logica
 	}
 	st.extractFilters()
 
-	plan := &LogicalPlan{Ops: append([]LogicalOp(nil), prev.Ops...)}
-	if len(plan.Ops) == 0 || plan.Ops[0].Op != OpQueryDatabase && plan.Ops[0].Op != OpQueryVectorDatabase {
-		return plan
-	}
-	root := plan.Ops[0]
-	// Replace same-field filters, append new ones.
+	prev.normalize()
+	plan := prev.Clone()
+
+	// Replace same-field filters, append new ones, on each scan root.
 	newFields := map[string]bool{}
 	for _, f := range st.filters {
 		newFields[f.Field] = true
 	}
-	var kept []FilterSpec
-	for _, f := range root.Filters {
-		if !newFields[f.Field] {
-			kept = append(kept, f)
+	var firstRoot string
+	for i := range plan.Nodes {
+		n := &plan.Nodes[i]
+		if len(n.Inputs) != 0 {
+			continue
 		}
+		if firstRoot == "" && (n.Op == OpQueryDatabase || n.Op == OpQueryVectorDatabase) {
+			firstRoot = n.ID
+		}
+		if n.Op != OpQueryDatabase {
+			continue
+		}
+		var kept []FilterSpec
+		for _, f := range n.Filters {
+			if !newFields[f.Field] {
+				kept = append(kept, f)
+			}
+		}
+		n.Filters = append(kept, st.filters...)
 	}
-	root.Filters = append(kept, st.filters...)
-	plan.Ops[0] = root
+	if firstRoot == "" {
+		return plan
+	}
 
-	// Append new semantic predicates (dedup against existing questions).
+	// Insert new semantic predicates after the first root (dedup against
+	// questions the plan already asks anywhere).
 	existing := map[string]bool{}
-	for _, op := range plan.Ops {
-		if op.Op == OpLLMFilter {
-			existing[op.Question] = true
+	for _, n := range plan.Nodes {
+		if n.Op == OpLLMFilter {
+			existing[n.Question] = true
 		}
 	}
-	var withPreds []LogicalOp
-	withPreds = append(withPreds, plan.Ops[0])
+	downstream := plan.consumers(firstRoot)
+	cur := firstRoot
 	for _, pred := range st.llmPreds {
 		q := "Does the document indicate " + pred + "?"
-		if !existing[q] {
-			withPreds = append(withPreds, LogicalOp{Op: OpLLMFilter, Question: q})
+		if existing[q] {
+			continue
+		}
+		existing[q] = true
+		node := PlanNode{
+			ID:        plan.freshID(),
+			Inputs:    []string{cur},
+			LogicalOp: LogicalOp{Op: OpLLMFilter, Question: q},
+		}
+		plan.Nodes = append(plan.Nodes, node)
+		cur = node.ID
+	}
+	if cur != firstRoot {
+		// Repoint the root's original consumers at the filter chain tail.
+		for _, id := range downstream {
+			n := plan.node(id)
+			for j, in := range n.Inputs {
+				if in == firstRoot {
+					n.Inputs[j] = cur
+				}
+			}
+		}
+		if plan.Output == firstRoot {
+			plan.Output = cur
 		}
 	}
-	withPreds = append(withPreds, plan.Ops[1:]...)
-	plan.Ops = withPreds
+	plan.syncLinearView()
 	return plan
 }
 

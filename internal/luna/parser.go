@@ -38,11 +38,13 @@ func (p *parser) Parse(question string) (*LogicalPlan, error) {
 	st.lower()
 	st.extractFilters()
 
-	plan := st.buildPlan()
-	if len(plan.Ops) == 0 {
+	ops := st.buildOps()
+	if len(ops) == 0 {
 		return nil, fmt.Errorf("luna: could not interpret question %q", question)
 	}
-	return plan, nil
+	// The grammar planner always produces a chain; Chain up-converts it
+	// to the DAG IR (the planner LLM emits the DAG JSON form directly).
+	return Chain(ops...), nil
 }
 
 // parseState tracks the question text as recognized phrases are consumed.
@@ -348,9 +350,9 @@ func fieldTokens(s string) []string {
 	return out
 }
 
-// buildPlan assembles the operator chain from the parsed pieces.
-func (st *parseState) buildPlan() *LogicalPlan {
-	plan := &LogicalPlan{}
+// buildOps assembles the operator chain from the parsed pieces.
+func (st *parseState) buildOps() []LogicalOp {
+	var ops []LogicalOp
 	q := strings.ToLower(st.original)
 	// Breakdown detection runs over the post-consumption text so that
 	// consumed condition phrases ("caused by weather") cannot masquerade
@@ -361,16 +363,16 @@ func (st *parseState) buildPlan() *LogicalPlan {
 	// chunk index (queryVectorDatabase) and list the matches.
 	if m := regexp.MustCompile(`^(?:find|search for|retrieve) (?:reports |documents |incidents )?(?:about |mentioning |similar to |related to )?(.{3,})$`).FindStringSubmatch(q); m != nil {
 		k := 10
-		plan.Ops = append(plan.Ops,
+		ops = append(ops,
 			LogicalOp{Op: OpQueryVectorDatabase, Query: strings.TrimSpace(m[1]), K: k},
 			LogicalOp{Op: OpProject, ProjectFields: []string{"accidentNumber"}})
-		return plan
+		return ops
 	}
 
 	// Retrieval root: metadata scan with the recognized filters.
-	plan.Ops = append(plan.Ops, LogicalOp{Op: OpQueryDatabase, Filters: st.filters})
+	ops = append(ops, LogicalOp{Op: OpQueryDatabase, Filters: st.filters})
 	for _, pred := range st.llmPreds {
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpLLMFilter, Question: "Does the document indicate " + pred + "?"})
+		ops = append(ops, LogicalOp{Op: OpLLMFilter, Question: "Does the document indicate " + pred + "?"})
 	}
 
 	switch {
@@ -378,11 +380,11 @@ func (st *parseState) buildPlan() *LogicalPlan {
 		// "what fraction of <base> were <pred>": the base filters are already
 		// applied; the last llmFilter (if any) becomes the numerator.
 		frac := LogicalOp{Op: OpFraction}
-		if n := len(plan.Ops); n > 1 && plan.Ops[n-1].Op == OpLLMFilter {
-			frac.Question = plan.Ops[n-1].Question
-			plan.Ops = plan.Ops[:n-1]
+		if n := len(ops); n > 1 && ops[n-1].Op == OpLLMFilter {
+			frac.Question = ops[n-1].Question
+			ops = ops[:n-1]
 		}
-		plan.Ops = append(plan.Ops, frac)
+		ops = append(ops, frac)
 
 	case hasMode(q):
 		// "most common X" / "top N most common X".
@@ -392,9 +394,9 @@ func (st *parseState) buildPlan() *LogicalPlan {
 			// Not in the schema: extract at query time (§2's flagship
 			// example — parts data extracted with semantic operators).
 			field = "damaged_part"
-			plan.Ops = append(plan.Ops, LogicalOp{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: field, Type: "string"}}})
+			ops = append(ops, LogicalOp{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: field, Type: "string"}}})
 		}
-		plan.Ops = append(plan.Ops,
+		ops = append(ops,
 			LogicalOp{Op: OpGroupByAggregate, Key: field, Agg: "count"},
 			LogicalOp{Op: OpTopK, Field: "value", K: k})
 
@@ -404,47 +406,47 @@ func (st *parseState) buildPlan() *LogicalPlan {
 		if field == "" {
 			field = target
 		}
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpGroupByAggregate, Key: "", Agg: agg, ValueField: field})
+		ops = append(ops, LogicalOp{Op: OpGroupByAggregate, Key: "", Agg: agg, ValueField: field})
 
 	case breakdownField(clean) != "" && st.parser.resolveField(breakdownField(clean)) != "":
 		field := st.parser.resolveField(breakdownField(clean))
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpGroupByAggregate, Key: field, Agg: "count"})
+		ops = append(ops, LogicalOp{Op: OpGroupByAggregate, Key: field, Agg: "count"})
 
 	case regexp.MustCompile(`^which [a-z ]+ had the most`).MatchString(q):
 		m := regexp.MustCompile(`^which ([a-z ]+?) had the most`).FindStringSubmatch(q)
 		field := st.parser.resolveField(m[1])
-		plan.Ops = append(plan.Ops,
+		ops = append(ops,
 			LogicalOp{Op: OpGroupByAggregate, Key: field, Agg: "count"},
 			LogicalOp{Op: OpTopK, Field: "value", K: 1})
 
 	case strings.HasPrefix(q, "how many") || strings.HasPrefix(q, "count"):
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpCount})
+		ops = append(ops, LogicalOp{Op: OpCount})
 
 	case strings.HasPrefix(q, "which") || strings.HasPrefix(q, "list"):
 		field := "accidentNumber"
 		if strings.Contains(q, "registration") {
 			field = "registration"
 		}
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpProject, ProjectFields: []string{field}})
+		ops = append(ops, LogicalOp{Op: OpProject, ProjectFields: []string{field}})
 
 	case strings.Contains(q, "probable cause"):
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpProject, ProjectFields: []string{"probable_cause"}})
+		ops = append(ops, LogicalOp{Op: OpProject, ProjectFields: []string{"probable_cause"}})
 
 	case strings.HasPrefix(q, "summarize"):
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpLLMGenerate, Instruction: st.original})
+		ops = append(ops, LogicalOp{Op: OpLLMGenerate, Instruction: st.original})
 
 	case strings.HasPrefix(q, "cluster"):
 		k := 5
 		if m := regexp.MustCompile(`(\d+) clusters?`).FindStringSubmatch(q); m != nil {
 			k, _ = strconv.Atoi(m[1])
 		}
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpLLMCluster, K: k})
+		ops = append(ops, LogicalOp{Op: OpLLMCluster, K: k})
 
 	default:
 		// Open question: retrieve and generate.
-		plan.Ops = append(plan.Ops, LogicalOp{Op: OpLLMGenerate, Instruction: st.original})
+		ops = append(ops, LogicalOp{Op: OpLLMGenerate, Instruction: st.original})
 	}
-	return plan
+	return ops
 }
 
 func hasMode(q string) bool {

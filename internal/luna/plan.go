@@ -7,6 +7,7 @@ package luna
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"aryn/internal/llm"
@@ -30,6 +31,11 @@ const (
 	OpLimit               = "limit"
 	OpProject             = "project"
 	OpLLMGenerate         = "llmGenerate"
+	// OpJoin combines two upstream pipelines on equal property values —
+	// the §9 "extend Aryn to support joins" direction. It is the only
+	// operator with two inputs, which is what makes plans DAGs rather
+	// than chains.
+	OpJoin = "join"
 )
 
 // FilterSpec is one property predicate inside a plan.
@@ -57,7 +63,7 @@ type LogicalOp struct {
 	ValueField string `json:"value_field,omitempty"`
 	// topK / limit / llmCluster / queryVectorDatabase
 	K int `json:"k,omitempty"`
-	// topK
+	// topK / distinct
 	Field string `json:"field,omitempty"`
 	// project
 	ProjectFields []string `json:"project_fields,omitempty"`
@@ -65,13 +71,296 @@ type LogicalOp struct {
 	Instruction string `json:"instruction,omitempty"`
 	// queryVectorDatabase
 	Query string `json:"query,omitempty"`
+	// join: the equality keys on the left (first input) and right
+	// (second input) side, the join kind (inner/left/semi/anti, default
+	// inner), and the namespace prefix under which right-side properties
+	// are merged (default "right").
+	LeftKey  string `json:"left_key,omitempty"`
+	RightKey string `json:"right_key,omitempty"`
+	JoinKind string `json:"join_kind,omitempty"`
+	Prefix   string `json:"prefix,omitempty"`
 }
 
-// LogicalPlan is the ordered operator chain Luna executes. The paper's
-// plans are DAGs; every plan the planner emits is a linear chain (joins
-// are future work, §9).
+// PlanNode is one vertex of a logical plan DAG: a unique ID, the IDs of
+// the nodes whose output it consumes (empty for query roots, two for
+// join, one for everything else), and the operator parameters.
+type PlanNode struct {
+	ID     string   `json:"id"`
+	Inputs []string `json:"inputs,omitempty"`
+	LogicalOp
+}
+
+// LogicalPlan is the operator DAG Luna executes, exposed to users "as a
+// simple JSON object" (§6.2) in the form
+//
+//	{"nodes": [{"id": "n1", "op": ..., "inputs": [...], ...params}], "output": "n3"}
+//
+// Ops is the legacy linear-chain view. It is kept in sync for plans that
+// are simple chains (which is every plan the grammar planner emits), so
+// existing callers can keep reading plan.Ops; it is nil for plans with
+// joins or multiple roots. Construction through either view works: plans
+// built as LogicalPlan{Ops: ...} are up-converted to nodes on first use,
+// and decoding accepts both the DAG form and the legacy {"ops": [...]}
+// wire format.
 type LogicalPlan struct {
-	Ops []LogicalOp `json:"ops"`
+	Nodes  []PlanNode `json:"nodes"`
+	Output string     `json:"output"`
+	// Ops is the linear projection of a chain-shaped plan (nil when the
+	// DAG has joins or multiple roots). Treat it as read-only: edits to a
+	// plan that already carries Nodes must go through Nodes.
+	Ops []LogicalOp `json:"-"`
+}
+
+// Chain builds a linear DAG plan n1 -> n2 -> ... from an operator list —
+// the up-conversion applied to legacy plans and the constructor the
+// grammar planner uses.
+func Chain(ops ...LogicalOp) *LogicalPlan {
+	p := &LogicalPlan{Ops: append([]LogicalOp(nil), ops...)}
+	p.normalize()
+	return p
+}
+
+// normalize reconciles the two plan views: builds Nodes from a legacy Ops
+// chain, infers a missing Output as the unique sink, and refreshes the
+// linear Ops projection. Idempotent and cheap once synced.
+func (p *LogicalPlan) normalize() {
+	if len(p.Nodes) == 0 && len(p.Ops) > 0 {
+		p.Nodes = make([]PlanNode, len(p.Ops))
+		for i, op := range p.Ops {
+			n := PlanNode{ID: fmt.Sprintf("n%d", i+1), LogicalOp: op}
+			if i > 0 {
+				n.Inputs = []string{fmt.Sprintf("n%d", i)}
+			}
+			p.Nodes[i] = n
+		}
+		p.Output = p.Nodes[len(p.Nodes)-1].ID
+		return // a fresh chain: Ops already is the linear view
+	}
+	if p.Output == "" && len(p.Nodes) > 0 {
+		// Tolerant decode: a single sink is unambiguous.
+		sinks := p.sinks()
+		if len(sinks) == 1 {
+			p.Output = sinks[0]
+		}
+	}
+	p.syncLinearView()
+}
+
+// sinks returns the IDs of nodes no other node consumes, in declaration
+// order.
+func (p *LogicalPlan) sinks() []string {
+	consumed := map[string]bool{}
+	for _, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			consumed[in] = true
+		}
+	}
+	var out []string
+	for _, n := range p.Nodes {
+		if !consumed[n.ID] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// node returns the named node (nil if absent).
+func (p *LogicalPlan) node(id string) *PlanNode {
+	for i := range p.Nodes {
+		if p.Nodes[i].ID == id {
+			return &p.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// consumers returns the IDs of nodes reading id's output, in declaration
+// order.
+func (p *LogicalPlan) consumers(id string) []string {
+	var out []string
+	for _, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			if in == id {
+				out = append(out, n.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// freshID mints a node ID unused by the plan.
+func (p *LogicalPlan) freshID() string {
+	used := map[string]bool{}
+	for _, n := range p.Nodes {
+		used[n.ID] = true
+	}
+	for i := len(p.Nodes) + 1; ; i++ {
+		id := fmt.Sprintf("n%d", i)
+		if !used[id] {
+			return id
+		}
+	}
+}
+
+// topoOrder returns node indices in a deterministic topological order
+// (declaration order among ready nodes), or an error naming a dangling
+// input or a cycle — the structural half of plan validation, also needed
+// by the compiler.
+func (p *LogicalPlan) topoOrder() ([]int, error) {
+	index := map[string]int{}
+	for i, n := range p.Nodes {
+		if _, dup := index[n.ID]; dup {
+			return nil, fmt.Errorf("duplicate node id %q", n.ID)
+		}
+		index[n.ID] = i
+	}
+	for _, n := range p.Nodes {
+		for _, in := range n.Inputs {
+			if _, ok := index[in]; !ok {
+				return nil, fmt.Errorf("node %s: dangling input %q", n.ID, in)
+			}
+		}
+	}
+	done := make([]bool, len(p.Nodes))
+	order := make([]int, 0, len(p.Nodes))
+	for len(order) < len(p.Nodes) {
+		progressed := false
+		for i, n := range p.Nodes {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, in := range n.Inputs {
+				if !done[index[in]] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[i] = true
+				order = append(order, i)
+				progressed = true
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for i, n := range p.Nodes {
+				if !done[i] {
+					stuck = append(stuck, n.ID)
+				}
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("cycle involving nodes %s", strings.Join(stuck, ", "))
+		}
+	}
+	return order, nil
+}
+
+// syncLinearView refreshes Ops: the operator chain when the DAG is a
+// single path ending at Output, nil otherwise.
+func (p *LogicalPlan) syncLinearView() {
+	p.Ops = nil
+	if len(p.Nodes) == 0 {
+		return
+	}
+	var root *PlanNode
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		if len(n.Inputs) > 1 {
+			return
+		}
+		if len(n.Inputs) == 0 {
+			if root != nil {
+				return // multiple roots
+			}
+			root = n
+		}
+		if len(p.consumers(n.ID)) > 1 {
+			return
+		}
+	}
+	if root == nil {
+		return
+	}
+	ops := make([]LogicalOp, 0, len(p.Nodes))
+	cur := root
+	for {
+		if len(ops) == len(p.Nodes) {
+			return // longer walk than nodes: duplicate IDs, not a chain
+		}
+		ops = append(ops, cur.LogicalOp)
+		next := p.consumers(cur.ID)
+		if len(next) == 0 {
+			break
+		}
+		cur = p.node(next[0])
+	}
+	if len(ops) != len(p.Nodes) || (p.Output != "" && cur.ID != p.Output) {
+		return // disconnected components or output off the chain
+	}
+	p.Ops = ops
+}
+
+// Clone deep-copies the plan (nodes, edges, and parameter slices), so
+// rewrites and user edits never alias the original.
+func (p *LogicalPlan) Clone() *LogicalPlan {
+	out := &LogicalPlan{Output: p.Output}
+	out.Nodes = make([]PlanNode, len(p.Nodes))
+	for i, n := range p.Nodes {
+		c := n
+		c.Inputs = append([]string(nil), n.Inputs...)
+		c.LogicalOp = cloneOp(n.LogicalOp)
+		out.Nodes[i] = c
+	}
+	out.Ops = make([]LogicalOp, len(p.Ops))
+	for i, op := range p.Ops {
+		out.Ops[i] = cloneOp(op)
+	}
+	return out
+}
+
+func cloneOp(op LogicalOp) LogicalOp {
+	op.Filters = append([]FilterSpec(nil), op.Filters...)
+	op.Fields = append([]llm.FieldSpec(nil), op.Fields...)
+	op.ProjectFields = append([]string(nil), op.ProjectFields...)
+	return op
+}
+
+// planWire is the canonical DAG wire format.
+type planWire struct {
+	Nodes  []PlanNode `json:"nodes"`
+	Output string     `json:"output,omitempty"`
+}
+
+// MarshalJSON emits the DAG form, up-converting a legacy Ops-only plan
+// first.
+func (p *LogicalPlan) MarshalJSON() ([]byte, error) {
+	q := *p
+	q.normalize()
+	return json.Marshal(planWire{Nodes: q.Nodes, Output: q.Output})
+}
+
+// UnmarshalJSON accepts both the DAG form {"nodes": [...], "output": ...}
+// and the legacy linear form {"ops": [...]}, which is up-converted so old
+// clients, golden files, and stored plans keep working unchanged.
+func (p *LogicalPlan) UnmarshalJSON(data []byte) error {
+	var probe struct {
+		Nodes  []PlanNode  `json:"nodes"`
+		Output string      `json:"output"`
+		Ops    []LogicalOp `json:"ops"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return err
+	}
+	*p = LogicalPlan{}
+	if len(probe.Nodes) > 0 {
+		p.Nodes, p.Output = probe.Nodes, probe.Output
+	} else {
+		p.Ops = probe.Ops
+	}
+	p.normalize()
+	return nil
 }
 
 // JSON renders the plan in the exact format the planner LLM emits and the
@@ -85,7 +374,8 @@ func (p *LogicalPlan) JSON() string {
 }
 
 // ParsePlan decodes planner output, tolerating surrounding prose by
-// extracting the outermost JSON object.
+// extracting the outermost JSON object. Both the DAG and the legacy
+// linear format decode.
 func ParsePlan(text string) (*LogicalPlan, error) {
 	start := strings.Index(text, "{")
 	end := strings.LastIndex(text, "}")
@@ -99,13 +389,41 @@ func ParsePlan(text string) (*LogicalPlan, error) {
 	return &p, nil
 }
 
-// String renders a human-readable plan summary (one line per operator).
+// String renders a human-readable plan summary: one numbered line per
+// operator for chain plans (the historical format), and one line per node
+// with its ID and input edges for DAGs.
 func (p *LogicalPlan) String() string {
+	q := *p
+	q.normalize()
 	var sb strings.Builder
-	for i, op := range p.Ops {
-		fmt.Fprintf(&sb, "%d. %s", i+1, op.Describe())
-		if i < len(p.Ops)-1 {
+	if len(q.Ops) > 0 {
+		for i, op := range q.Ops {
+			if i > 0 {
+				sb.WriteString("\n")
+			}
+			fmt.Fprintf(&sb, "%d. %s", i+1, op.Describe())
+		}
+		return sb.String()
+	}
+	order, err := q.topoOrder()
+	if err != nil {
+		// Render in declaration order so even malformed plans display.
+		order = make([]int, len(q.Nodes))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for i, idx := range order {
+		n := q.Nodes[idx]
+		if i > 0 {
 			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "%s. %s", n.ID, n.Describe())
+		if len(n.Inputs) > 0 {
+			fmt.Fprintf(&sb, " <- %s", strings.Join(n.Inputs, ", "))
+		}
+		if n.ID == q.Output {
+			sb.WriteString(" [output]")
 		}
 	}
 	return sb.String()
@@ -161,9 +479,21 @@ func (op LogicalOp) Describe() string {
 		return "project(" + strings.Join(op.ProjectFields, ", ") + ")"
 	case OpLLMGenerate:
 		return fmt.Sprintf("llmGenerate(%q)", op.Instruction)
+	case OpJoin:
+		return fmt.Sprintf("join(%s, %s=%s)", joinKindOrDefault(op.JoinKind), op.LeftKey, op.RightKey)
+	case opDistinct:
+		return fmt.Sprintf("distinct(%s)", op.Field)
 	default:
 		return op.Op + "(?)"
 	}
+}
+
+// joinKindOrDefault applies the inner-join default.
+func joinKindOrDefault(kind string) string {
+	if kind == "" {
+		return "inner"
+	}
+	return kind
 }
 
 func truncate(s string, n int) string {

@@ -81,16 +81,62 @@ func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
 }
 
 // RunPlan executes a user-edited plan directly (the §6.2 "modify any part
-// of the plan" path), bypassing the planner but not validation.
+// of the plan" path), bypassing the planner but not validation or the
+// rule-based rewrites — submitted plans run through the same
+// semantics-preserving optimizations the planner path applies, so the
+// pipeline InspectPlan previews is the pipeline that executes.
 func (s *Service) RunPlan(ctx context.Context, question string, plan *LogicalPlan) (*Result, error) {
 	if err := Validate(plan, s.Planner.Schema); err != nil {
 		return nil, err
 	}
-	res, err := s.Executor.Run(ctx, plan)
+	res, err := s.Executor.Run(ctx, Rewrite(plan, s.Planner.Rewrites))
 	if err != nil {
 		return nil, err
 	}
 	res.Question = question
 	res.Plan = plan
 	return res, nil
+}
+
+// PlanPreview is a planned-but-not-executed query: the inspectable half
+// of the §6.2 inspect→edit→re-run loop.
+type PlanPreview struct {
+	Question string
+	// Plan is the plan as emitted by the planner (or submitted by the
+	// user), before optimization.
+	Plan *LogicalPlan
+	// Rewritten is the plan after rule-based optimization.
+	Rewritten *LogicalPlan
+	// Compiled is the physical Sycamore pipeline the rewritten plan
+	// lowers to.
+	Compiled string
+}
+
+// PlanOnly plans, validates, rewrites, and compiles the question without
+// executing anything — the cheap POST /plan path.
+func (s *Service) PlanOnly(ctx context.Context, question string) (*PlanPreview, error) {
+	raw, rewritten, err := s.Planner.Plan(ctx, question)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := s.Executor.Compile(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanPreview{Question: question, Plan: raw, Rewritten: rewritten, Compiled: compiled}, nil
+}
+
+// InspectPlan validates, rewrites, and compiles a user-submitted plan
+// without executing it — a dry run for edited plans, surfacing every
+// validation problem at once.
+func (s *Service) InspectPlan(plan *LogicalPlan) (*PlanPreview, error) {
+	if err := Validate(plan, s.Planner.Schema); err != nil {
+		return nil, err
+	}
+	rewritten := Rewrite(plan, s.Planner.Rewrites)
+	compiled, err := s.Executor.Compile(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanPreview{Plan: plan, Rewritten: rewritten, Compiled: compiled}, nil
 }

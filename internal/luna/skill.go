@@ -14,7 +14,7 @@ import (
 func BuildPlanPrompt(schema Schema, question string) string {
 	var sb strings.Builder
 	sb.WriteString(llm.TaskPlan + "\n")
-	sb.WriteString("You are a query planner. Decompose the user question into a JSON plan over the logical operators below. Respond with a single JSON object {\"ops\": [...]}.\n")
+	sb.WriteString("You are a query planner. Decompose the user question into a JSON plan DAG over the logical operators below. Respond with a single JSON object {\"nodes\": [{\"id\": ..., \"op\": ..., \"inputs\": [...], ...params}], \"output\": <id>}. Source operators take no inputs, join takes two, everything else takes one.\n")
 	sb.WriteString(schema.PromptBlock())
 	sb.WriteString(operatorCatalogue)
 	sb.WriteString(fewShotExamples)
@@ -23,8 +23,8 @@ func BuildPlanPrompt(schema Schema, question string) string {
 }
 
 const operatorCatalogue = `OPERATORS:
-- queryDatabase(filters, keyword): scan the index with property filters and/or keyword search
-- queryVectorDatabase(query, k): semantic search over document chunks
+- queryDatabase(filters, keyword): scan the index with property filters and/or keyword search (source, no inputs)
+- queryVectorDatabase(query, k): semantic search over document chunks (source, no inputs)
 - basicFilter(filters): property predicate on the current set
 - llmFilter(question): keep documents for which the LLM answers yes
 - llmExtract(fields): extract new properties from document text
@@ -34,15 +34,18 @@ const operatorCatalogue = `OPERATORS:
 - count(): count documents
 - fraction(question): fraction of current documents satisfying the predicate
 - limit(n) / project(project_fields) / llmGenerate(instruction)
+- join(left_key, right_key, join_kind, prefix): combine two inputs on equal property values (inner/left/semi/anti); right-side properties merge under "<prefix>."
 `
 
 const fewShotExamples = `EXAMPLES:
 Q: How many incidents were there in Kentucky?
-A: {"ops":[{"op":"queryDatabase","filters":[{"field":"us_state","kind":"term","value":"KY"}]},{"op":"count"}]}
+A: {"nodes":[{"id":"n1","op":"queryDatabase","filters":[{"field":"us_state","kind":"term","value":"KY"}]},{"id":"n2","op":"count","inputs":["n1"]}],"output":"n2"}
 Q: What was the most commonly damaged part of the aircraft?
-A: {"ops":[{"op":"queryDatabase"},{"op":"llmExtract","fields":[{"name":"damaged_part","type":"string"}]},{"op":"groupByAggregate","key":"damaged_part","agg":"count"},{"op":"topK","field":"value","k":1}]}
+A: {"nodes":[{"id":"n1","op":"queryDatabase"},{"id":"n2","op":"llmExtract","inputs":["n1"],"fields":[{"name":"damaged_part","type":"string"}]},{"id":"n3","op":"groupByAggregate","inputs":["n2"],"key":"damaged_part","agg":"count"},{"id":"n4","op":"topK","inputs":["n3"],"field":"value","k":1}],"output":"n4"}
 Q: Which incidents involved lightning strikes?
-A: {"ops":[{"op":"queryDatabase"},{"op":"llmFilter","question":"Does the document indicate lightning strikes?"},{"op":"project","project_fields":["accidentNumber"]}]}
+A: {"nodes":[{"id":"n1","op":"queryDatabase"},{"id":"n2","op":"llmFilter","inputs":["n1"],"question":"Does the document indicate lightning strikes?"},{"id":"n3","op":"project","inputs":["n2"],"project_fields":["accidentNumber"]}],"output":"n3"}
+Q: For fatal incidents, list other incidents in the same state.
+A: {"nodes":[{"id":"n1","op":"queryDatabase","filters":[{"field":"fatalities","kind":"gte","value":1}]},{"id":"n2","op":"queryDatabase"},{"id":"n3","op":"join","inputs":["n1","n2"],"left_key":"us_state","right_key":"us_state","join_kind":"inner","prefix":"peer"},{"id":"n4","op":"project","inputs":["n3"],"project_fields":["accidentNumber","peer.accidentNumber"]}],"output":"n4"}
 `
 
 // PlannerSkill is the query-planning capability registered on the Sim
@@ -63,7 +66,7 @@ func (PlannerSkill) Run(_ *rand.Rand, req llm.Request) (string, error) {
 	p := &parser{schema: schema}
 	plan, err := p.Parse(question)
 	if err != nil {
-		return `{"ops":[]}`, nil // models emit degenerate plans, not errors
+		return `{"nodes":[]}`, nil // models emit degenerate plans, not errors
 	}
 	return plan.JSON(), nil
 }

@@ -3,134 +3,301 @@ package luna
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // ErrInvalidPlan wraps all plan validation failures.
 var ErrInvalidPlan = errors.New("luna: invalid plan")
 
-// Validate checks a planner-produced plan both syntactically (known
-// operators, required parameters) and semantically (filter and group-by
-// fields must exist in the schema or be produced by an earlier llmExtract)
-// — the §6.1 validation step that catches LLM hallucinations before
-// execution.
+// Validate checks a plan structurally (well-formed DAG: unique node IDs,
+// no dangling inputs, no cycles, correct input arity, a single output
+// sink every node feeds) and semantically (known operators, required
+// parameters, filter and group-by fields must exist in the schema or be
+// produced upstream) — the §6.1 validation step that catches LLM
+// hallucinations before execution.
+//
+// All node-level failures are aggregated with errors.Join rather than
+// stopping at the first, so a plan-editing client sees every problem in
+// one round trip; the combined error still matches ErrInvalidPlan.
 func Validate(plan *LogicalPlan, schema Schema) error {
-	if plan == nil || len(plan.Ops) == 0 {
+	if plan == nil {
 		return fmt.Errorf("%w: empty plan", ErrInvalidPlan)
 	}
-	if first := plan.Ops[0].Op; first != OpQueryDatabase && first != OpQueryVectorDatabase {
-		return fmt.Errorf("%w: plan must start with a query operator, got %q", ErrInvalidPlan, first)
+	plan.normalize()
+	if len(plan.Nodes) == 0 {
+		return fmt.Errorf("%w: empty plan", ErrInvalidPlan)
 	}
-	known := map[string]bool{}
-	for _, f := range schema.Fields {
-		known[f.Name] = true
+
+	var errs []error
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%w: "+format, append([]any{ErrInvalidPlan}, args...)...))
 	}
-	// Fields materialized by earlier operators become valid downstream.
-	addExtracted := func(op LogicalOp) {
-		for _, f := range op.Fields {
-			known[f.Name] = true
-		}
-		if op.Op == OpGroupByAggregate {
-			known["value"] = true
-			known["count"] = true
-		}
-		if op.Op == OpLLMCluster {
-			known["cluster_id"] = true
-			known["cluster_label"] = true
+
+	order, terr := plan.topoOrder()
+	if terr != nil {
+		// Without a topological order there is no provenance walk;
+		// report the structural fault alone.
+		addf("%v", terr)
+		return errors.Join(errs...)
+	}
+
+	// Output resolution: the plan must name (or imply) exactly one sink.
+	output := plan.Output
+	if output == "" {
+		addf("plan has no output node (sinks: %s)", strings.Join(plan.sinks(), ", "))
+	} else if plan.node(output) == nil {
+		addf("output %q names no node", output)
+		output = ""
+	} else if len(plan.consumers(output)) > 0 {
+		addf("output node %s is consumed by %s and cannot be the result",
+			output, strings.Join(plan.consumers(output), ", "))
+	}
+	for _, sink := range plan.sinks() {
+		if sink != output {
+			addf("node %s does not feed the output (dangling branch)", sink)
 		}
 	}
 
-	for i, op := range plan.Ops {
-		switch op.Op {
+	// Provenance walk: the set of fields visible at each node is the
+	// schema plus everything its ancestors materialized.
+	base := map[string]bool{}
+	for _, f := range schema.Fields {
+		base[f.Name] = true
+	}
+	visible := map[string]map[string]bool{}
+
+	for _, idx := range order {
+		n := plan.Nodes[idx]
+		id := n.ID
+
+		// Input arity per operator class.
+		switch n.Op {
+		case OpQueryDatabase, OpQueryVectorDatabase:
+			if len(n.Inputs) != 0 {
+				addf("node %s: %s is a source and takes no inputs, got %d", id, n.Op, len(n.Inputs))
+			}
+		case OpJoin:
+			if len(n.Inputs) != 2 {
+				addf("node %s: join takes exactly 2 inputs (left, right), got %d", id, len(n.Inputs))
+			}
+		default:
+			if len(n.Inputs) != 1 {
+				addf("node %s: %s takes exactly 1 input, got %d", id, n.Op, len(n.Inputs))
+			}
+		}
+
+		known := fieldsAt(plan, n, visible, base)
+
+		switch n.Op {
 		case OpQueryDatabase:
-			if i != 0 {
-				return fmt.Errorf("%w: op %d: queryDatabase must be the plan root", ErrInvalidPlan, i+1)
-			}
-			if err := validFilters(op.Filters, known); err != nil {
-				return err
-			}
+			validFilters(id, n.Filters, known, addf)
 		case OpQueryVectorDatabase:
-			if i != 0 {
-				return fmt.Errorf("%w: op %d: queryVectorDatabase must be the plan root", ErrInvalidPlan, i+1)
-			}
-			if op.Query == "" {
-				return fmt.Errorf("%w: queryVectorDatabase requires a query", ErrInvalidPlan)
+			if n.Query == "" {
+				addf("node %s: queryVectorDatabase requires a query", id)
 			}
 		case OpBasicFilter:
-			if err := validFilters(op.Filters, known); err != nil {
-				return err
-			}
+			validFilters(id, n.Filters, known, addf)
 		case OpLLMFilter:
-			if op.Question == "" {
-				return fmt.Errorf("%w: op %d: llmFilter requires a question", ErrInvalidPlan, i+1)
+			if n.Question == "" {
+				addf("node %s: llmFilter requires a question", id)
 			}
 		case OpLLMExtract:
-			if len(op.Fields) == 0 {
-				return fmt.Errorf("%w: op %d: llmExtract requires fields", ErrInvalidPlan, i+1)
+			if len(n.Fields) == 0 {
+				addf("node %s: llmExtract requires fields", id)
 			}
-			addExtracted(op)
 		case OpGroupByAggregate:
-			if op.Key != "" && !known[op.Key] {
-				return fmt.Errorf("%w: op %d: group key %q not in schema", ErrInvalidPlan, i+1, op.Key)
+			if n.Key != "" && !known[n.Key] {
+				addf("node %s: group key %q not in schema", id, n.Key)
 			}
-			switch op.Agg {
+			switch n.Agg {
 			case "count":
 			case "sum", "avg", "min", "max":
-				if op.ValueField == "" || !known[op.ValueField] {
-					return fmt.Errorf("%w: op %d: aggregate field %q not in schema", ErrInvalidPlan, i+1, op.ValueField)
+				if n.ValueField == "" || !known[n.ValueField] {
+					addf("node %s: aggregate field %q not in schema", id, n.ValueField)
 				}
 			default:
-				return fmt.Errorf("%w: op %d: unknown aggregation %q", ErrInvalidPlan, i+1, op.Agg)
+				addf("node %s: unknown aggregation %q", id, n.Agg)
 			}
-			addExtracted(op)
 		case OpLLMCluster:
-			if op.K <= 0 {
-				return fmt.Errorf("%w: op %d: llmCluster requires k > 0", ErrInvalidPlan, i+1)
+			if n.K <= 0 {
+				addf("node %s: llmCluster requires k > 0", id)
 			}
-			addExtracted(op)
 		case OpTopK:
-			if op.K <= 0 || op.Field == "" {
-				return fmt.Errorf("%w: op %d: topK requires field and k > 0", ErrInvalidPlan, i+1)
-			}
-			if !known[op.Field] {
-				return fmt.Errorf("%w: op %d: topK field %q not in schema", ErrInvalidPlan, i+1, op.Field)
+			if n.K <= 0 || n.Field == "" {
+				addf("node %s: topK requires field and k > 0", id)
+			} else if !known[n.Field] {
+				addf("node %s: topK field %q not in schema", id, n.Field)
 			}
 		case OpCount, OpFraction, OpLLMGenerate:
-			if i != len(plan.Ops)-1 {
-				return fmt.Errorf("%w: op %d: %s must be the terminal operator", ErrInvalidPlan, i+1, op.Op)
+			if id != output {
+				addf("node %s: %s must be the output node", id, n.Op)
 			}
 		case OpLimit:
-			if op.K <= 0 {
-				return fmt.Errorf("%w: op %d: limit requires n > 0", ErrInvalidPlan, i+1)
+			if n.K <= 0 {
+				addf("node %s: limit requires n > 0", id)
 			}
 		case OpProject:
-			if len(op.ProjectFields) == 0 {
-				return fmt.Errorf("%w: op %d: project requires fields", ErrInvalidPlan, i+1)
+			if len(n.ProjectFields) == 0 {
+				addf("node %s: project requires fields", id)
 			}
-			for _, f := range op.ProjectFields {
+			for _, f := range n.ProjectFields {
 				if !known[f] {
-					return fmt.Errorf("%w: op %d: projected field %q not in schema", ErrInvalidPlan, i+1, f)
+					addf("node %s: projected field %q not in schema", id, f)
+				}
+			}
+		case opDistinct:
+			if n.Field == "" {
+				addf("node %s: distinct requires a field", id)
+			}
+		case OpJoin:
+			switch joinKindOrDefault(n.JoinKind) {
+			case "inner", "left", "semi", "anti":
+			default:
+				addf("node %s: unknown join kind %q", id, n.JoinKind)
+			}
+			if n.LeftKey == "" || n.RightKey == "" {
+				addf("node %s: join requires left_key and right_key", id)
+			} else if len(n.Inputs) == 2 {
+				left := fieldSet(plan, n.Inputs[0], visible, base)
+				right := fieldSet(plan, n.Inputs[1], visible, base)
+				if !left[n.LeftKey] {
+					addf("node %s: join left_key %q not produced by input %s", id, n.LeftKey, n.Inputs[0])
+				}
+				if !right[n.RightKey] {
+					addf("node %s: join right_key %q not produced by input %s", id, n.RightKey, n.Inputs[1])
 				}
 			}
 		default:
-			return fmt.Errorf("%w: op %d: unknown operator %q", ErrInvalidPlan, i+1, op.Op)
+			addf("node %s: unknown operator %q", id, n.Op)
 		}
+
+		visible[id] = produce(plan, n, visible, base)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-func validFilters(filters []FilterSpec, known map[string]bool) error {
+// fieldsAt is the field set an operator may reference: the union of what
+// its inputs produce (the schema itself for roots).
+func fieldsAt(plan *LogicalPlan, n PlanNode, visible map[string]map[string]bool, base map[string]bool) map[string]bool {
+	if len(n.Inputs) == 0 {
+		return base
+	}
+	out := map[string]bool{}
+	for _, in := range n.Inputs {
+		for f := range fieldSet(plan, in, visible, base) {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+// fieldSet returns the fields a node's output carries (base when the walk
+// hasn't reached it, which only happens for nodes already flagged).
+func fieldSet(plan *LogicalPlan, id string, visible map[string]map[string]bool, base map[string]bool) map[string]bool {
+	if s, ok := visible[id]; ok {
+		return s
+	}
+	return base
+}
+
+// produce computes the fields flowing out of a node: its visible inputs
+// plus whatever it materializes. Join namespaces right-side fields under
+// its prefix (matching docset.Join's merge), except for semi/anti joins,
+// which filter without enriching.
+func produce(plan *LogicalPlan, n PlanNode, visible map[string]map[string]bool, base map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	if n.Op == OpJoin && len(n.Inputs) == 2 {
+		for f := range fieldSet(plan, n.Inputs[0], visible, base) {
+			out[f] = true
+		}
+		if kind := joinKindOrDefault(n.JoinKind); kind == "inner" || kind == "left" {
+			prefix := n.Prefix
+			if prefix == "" {
+				prefix = "right"
+			}
+			for f := range fieldSet(plan, n.Inputs[1], visible, base) {
+				out[prefix+"."+f] = true
+			}
+		}
+		return out
+	}
+	for f := range fieldsAt(plan, n, visible, base) {
+		out[f] = true
+	}
+	switch n.Op {
+	case OpLLMExtract:
+		for _, f := range n.Fields {
+			out[f.Name] = true
+		}
+	case OpGroupByAggregate:
+		out["value"] = true
+		out["count"] = true
+		if n.Key == "" {
+			out["group"] = true
+		}
+	case OpLLMCluster:
+		out["cluster_id"] = true
+		out["cluster_label"] = true
+	}
+	return out
+}
+
+func validFilters(id string, filters []FilterSpec, known map[string]bool, addf func(string, ...any)) {
 	for _, f := range filters {
 		if f.Field == "" {
-			return fmt.Errorf("%w: filter missing field", ErrInvalidPlan)
+			addf("node %s: filter missing field", id)
+			continue
 		}
 		if !known[f.Field] {
-			return fmt.Errorf("%w: filter field %q not in schema", ErrInvalidPlan, f.Field)
+			addf("node %s: filter field %q not in schema", id, f.Field)
 		}
 		switch f.Kind {
 		case "term", "contains", "gte", "lte":
 		default:
-			return fmt.Errorf("%w: unknown filter kind %q", ErrInvalidPlan, f.Kind)
+			addf("node %s: unknown filter kind %q", id, f.Kind)
 		}
 	}
-	return nil
+}
+
+// Issues flattens a Validate error into its individual messages (the
+// ErrInvalidPlan prefix stripped), ready to surface as a structured
+// {"errors": [...]} array. Wrapping layers (the planner's "plan for %q
+// failed validation: %w") are peeled off to reach the aggregated
+// node-level errors beneath. Returns nil for nil errors and a
+// single-entry slice for non-aggregated errors.
+func Issues(err error) []string {
+	if err == nil {
+		return nil
+	}
+	var out []string
+	var walk func(error)
+	walk = func(e error) {
+		if multi, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, c := range multi.Unwrap() {
+				walk(c)
+			}
+			return
+		}
+		// A single-wrap layer hiding an aggregate beneath (planner-path
+		// wrapping): descend rather than reporting the whole blob.
+		if inner := errors.Unwrap(e); inner != nil && hasAggregate(inner) {
+			walk(inner)
+			return
+		}
+		out = append(out, strings.TrimPrefix(e.Error(), ErrInvalidPlan.Error()+": "))
+	}
+	walk(err)
+	return out
+}
+
+// hasAggregate reports whether an errors.Join aggregate sits anywhere
+// down the single-unwrap chain of e.
+func hasAggregate(e error) bool {
+	for e != nil {
+		if _, ok := e.(interface{ Unwrap() []error }); ok {
+			return true
+		}
+		e = errors.Unwrap(e)
+	}
+	return false
 }

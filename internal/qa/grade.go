@@ -197,8 +197,8 @@ func keyOverlap(a, b map[string]float64) float64 {
 }
 
 func planUsesLLMFilter(plan *luna.LogicalPlan) bool {
-	for _, op := range plan.Ops {
-		if op.Op == luna.OpLLMFilter || (op.Op == luna.OpFraction && op.Question != "") {
+	for _, n := range plan.Nodes {
+		if n.Op == luna.OpLLMFilter || (n.Op == luna.OpFraction && n.Question != "") {
 			return true
 		}
 	}

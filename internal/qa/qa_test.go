@@ -214,3 +214,48 @@ func TestTable4Reproduction(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordedPlansReExecute closes the §6.2 inspect→edit→re-run loop
+// through the harness: every plan the benchmark recorded round-trips
+// through its DAG JSON and, resubmitted via RunPlan, reproduces the
+// answer it was recorded with.
+func TestRecordedPlansReExecute(t *testing.T) {
+	corpus, err := ntsb.GenerateCorpus(20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.New(core.Config{Seed: 7, Parallelism: 4})
+	if _, err := sys.Ingest(context.Background(), blobs); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := RunLuna(context.Background(), sys, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, rec := range records {
+		if rec.Err != nil || rec.Plan == nil {
+			continue
+		}
+		parsed, perr := luna.ParsePlan(rec.Plan.JSON())
+		if perr != nil {
+			t.Fatalf("q%d: recorded plan does not round-trip: %v", rec.Question.ID, perr)
+		}
+		res, rerr := sys.Query.RunPlan(context.Background(), rec.Question.Text, parsed)
+		if rerr != nil {
+			t.Fatalf("q%d: recorded plan does not re-execute: %v", rec.Question.ID, rerr)
+		}
+		if res.Answer.String() != rec.Answer.String() {
+			t.Errorf("q%d: re-executed answer %q != recorded %q",
+				rec.Question.ID, res.Answer.String(), rec.Answer.String())
+		}
+		replayed++
+	}
+	if replayed < 20 {
+		t.Errorf("only %d plans replayed", replayed)
+	}
+}

@@ -6,10 +6,18 @@
 // Endpoints:
 //
 //	POST /ingest   load documents (raw blobs or a generated NTSB corpus)
-//	POST /query    one-shot Luna question (or ?rag via the baseline)
+//	POST /plan     plan a question (or dry-run an edited plan) without executing
+//	POST /query    one-shot Luna question or a user-edited plan (or ?rag)
 //	POST /chat     stateful conversational session with follow-ups
 //	GET  /stats    LLM middleware counters, index size, serving stats
 //	GET  /healthz  liveness + readiness (never gated by admission)
+//
+// Plans are first-class citizens (§6.2 inspect→edit→re-run): POST /plan
+// returns the validated DAG plan JSON plus the optimizer's rewrite and
+// the compiled physical pipeline; the client may edit the JSON and
+// submit it back through POST /query {"plan": ...} for execution.
+// Invalid plans come back as 400 with every node-level problem listed in
+// a structured {"errors": [...]} array.
 //
 // Concurrency model: every work request passes a bounded admission gate
 // (MaxInFlight executing, MaxWaiters queued, beyond that 429 +
@@ -132,6 +140,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /ingest", s.gated(s.handleIngest))
+	s.mux.HandleFunc("POST /plan", s.gated(s.handlePlan))
 	s.mux.HandleFunc("POST /query", s.gated(s.handleQuery))
 	s.mux.HandleFunc("POST /chat", s.gated(s.handleChat))
 	return s
@@ -195,13 +204,30 @@ type IngestResponse struct {
 	LLM       llm.StackStats `json:"llm"`
 }
 
-// QueryRequest is a one-shot question.
+// QueryRequest is a one-shot question — or a user-edited plan to execute
+// (exactly one of Question/Plan drives execution; Plan wins when both are
+// set, with Question kept as the display label).
 type QueryRequest struct {
-	Question string `json:"question"`
+	Question string `json:"question,omitempty"`
+	// Plan is a logical plan to execute directly after validation (the
+	// §6.2 "modify any part of the plan" path). Accepts the DAG form
+	// {"nodes": [...], "output": ...} and the legacy {"ops": [...]} form.
+	Plan json.RawMessage `json:"plan,omitempty"`
 	// RAG answers through the retrieval-augmented baseline instead of Luna.
 	RAG bool `json:"rag,omitempty"`
-	// IncludePlan attaches the logical plan JSON to the response.
+	// IncludePlan attaches the original and rewritten plan JSON plus the
+	// compiled physical pipeline to the response.
 	IncludePlan bool `json:"include_plan,omitempty"`
+}
+
+// PlanDetail carries every stage of a query's plan: what the planner
+// emitted (or the user submitted), what the optimizer made of it, and the
+// physical pipeline it lowers to — so users can see what the optimizer
+// did before editing.
+type PlanDetail struct {
+	Original  json.RawMessage `json:"original,omitempty"`
+	Rewritten json.RawMessage `json:"rewritten,omitempty"`
+	Compiled  string          `json:"compiled,omitempty"`
 }
 
 // QueryResponse is the answer to a one-shot question.
@@ -211,9 +237,26 @@ type QueryResponse struct {
 	Answer   string          `json:"answer"`
 	Kind     string          `json:"kind,omitempty"`
 	Docs     int             `json:"docs,omitempty"`
-	Plan     json.RawMessage `json:"plan,omitempty"`
+	Plan     *PlanDetail     `json:"plan,omitempty"`
 	LLM      *llm.StackStats `json:"llm,omitempty"`
 	WallMS   int64           `json:"wall_ms"`
+}
+
+// PlanRequest plans a question — or dry-runs an edited plan — without
+// executing anything.
+type PlanRequest struct {
+	Question string `json:"question,omitempty"`
+	// Plan, when set, is validated, rewritten, and compiled instead of
+	// calling the planner (a dry run for hand-edited plans).
+	Plan json.RawMessage `json:"plan,omitempty"`
+}
+
+// PlanResponse is the inspectable half of the inspect→edit→re-run loop.
+type PlanResponse struct {
+	TraceID  string     `json:"trace_id"`
+	Question string     `json:"question,omitempty"`
+	Plan     PlanDetail `json:"plan"`
+	WallMS   int64      `json:"wall_ms"`
 }
 
 // ChatRequest is one conversational turn. Omit SessionID to open a new
@@ -258,6 +301,10 @@ type sessionStats struct {
 type errorResponse struct {
 	Error   string `json:"error"`
 	TraceID string `json:"trace_id"`
+	// Errors lists every individual plan-validation failure when the
+	// error aggregates several (one round trip shows a plan editor every
+	// problem).
+	Errors []string `json:"errors,omitempty"`
 }
 
 // ---- handlers ----
@@ -355,13 +402,17 @@ func (s *Server) ingestBlobs(req IngestRequest) (map[string][]byte, error) {
 	return corpus.Blobs()
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
+// handlePlan serves POST /plan: the cheap, execution-free half of the
+// plan API. With a question it runs the planner + validator + rewriter;
+// with a plan it dry-runs a user edit. Either way the response carries
+// the plan JSON the client can edit and POST back to /query.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
 	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
 		return
 	}
-	if req.Question == "" {
-		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("question is required"))
+	if req.Question == "" && len(req.Plan) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("provide a question or a plan"))
 		return
 	}
 	if !s.sys.Ready() {
@@ -371,6 +422,107 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	start := time.Now()
+	svc := s.sys.QueryService()
+
+	var preview *luna.PlanPreview
+	if len(req.Plan) > 0 {
+		plan, err := decodePlan(req.Plan)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		preview, err = svc.InspectPlan(plan)
+		if err != nil {
+			s.writeError(w, r, statusOf(err), err)
+			return
+		}
+	} else {
+		var err error
+		preview, err = svc.PlanOnly(ctx, req.Question)
+		if err != nil {
+			s.writeError(w, r, statusOf(err), err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, PlanResponse{
+		TraceID:  traceFrom(r.Context()),
+		Question: req.Question,
+		Plan:     planDetail(preview.Plan, preview.Rewritten, preview.Compiled),
+		WallMS:   time.Since(start).Milliseconds(),
+	})
+}
+
+// decodePlan parses a submitted plan body (DAG or legacy linear form).
+func decodePlan(raw json.RawMessage) (*luna.LogicalPlan, error) {
+	var plan luna.LogicalPlan
+	if err := json.Unmarshal(raw, &plan); err != nil {
+		return nil, fmt.Errorf("bad plan JSON: %w", err)
+	}
+	return &plan, nil
+}
+
+// planDetail renders the plan stages for a response.
+func planDetail(original, rewritten *luna.LogicalPlan, compiled string) PlanDetail {
+	d := PlanDetail{Compiled: compiled}
+	if original != nil {
+		d.Original = json.RawMessage(original.JSON())
+	}
+	if rewritten != nil {
+		d.Rewritten = json.RawMessage(rewritten.JSON())
+	}
+	return d
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.Question == "" && len(req.Plan) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("question or plan is required"))
+		return
+	}
+	if !s.sys.Ready() {
+		s.writeError(w, r, http.StatusConflict, fmt.Errorf("no data ingested yet"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+
+	// Execute-by-plan: the user edited a plan (typically from POST /plan)
+	// and re-runs it; validation still applies but the planner LLM does
+	// not.
+	if len(req.Plan) > 0 {
+		plan, err := decodePlan(req.Plan)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		question := req.Question
+		if question == "" {
+			question = "(user-submitted plan)"
+		}
+		res, err := s.sys.QueryService().RunPlan(ctx, question, plan)
+		if err != nil {
+			s.writeError(w, r, statusOf(err), err)
+			return
+		}
+		out := QueryResponse{
+			TraceID:  traceFrom(r.Context()),
+			Question: question,
+			Answer:   res.Answer.String(),
+			Kind:     string(res.Answer.Kind),
+			Docs:     len(res.Docs),
+			WallMS:   time.Since(start).Milliseconds(),
+		}
+		if req.IncludePlan {
+			d := planDetail(res.Plan, res.Rewritten, res.Compiled)
+			out.Plan = &d
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
 
 	if req.RAG {
 		resp, err := s.sys.AskRAG(ctx, req.Question)
@@ -407,8 +559,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		LLM:      res.LLM,
 		WallMS:   time.Since(start).Milliseconds(),
 	}
-	if req.IncludePlan && res.Rewritten != nil {
-		out.Plan = json.RawMessage(res.Rewritten.JSON())
+	if req.IncludePlan {
+		d := planDetail(res.Plan, res.Rewritten, res.Compiled)
+		out.Plan = &d
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -475,14 +628,15 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 // ---- plumbing ----
 
 // statusOf maps execution errors to HTTP statuses: invalid plans are the
-// client's question failing to compile (422), a deadline hit is 504,
+// client's input failing to validate (400, with every node-level problem
+// listed in the structured errors array), a deadline hit is 504,
 // everything else is a server fault.
 func statusOf(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
 	case errors.Is(err, luna.ErrInvalidPlan):
-		return http.StatusUnprocessableEntity
+		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:
@@ -518,7 +672,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
-	s.writeJSON(w, status, errorResponse{Error: err.Error(), TraceID: traceFrom(r.Context())})
+	resp := errorResponse{Error: err.Error(), TraceID: traceFrom(r.Context())}
+	if errors.Is(err, luna.ErrInvalidPlan) {
+		// errors.Join aggregates node-level validation failures; the
+		// structured array lets a plan editor show them all at once.
+		resp.Errors = luna.Issues(err)
+	}
+	s.writeJSON(w, status, resp)
 }
 
 // newTraceID mints a per-request ID: a monotonic sequence (cheap ordering

@@ -152,8 +152,11 @@ func TestQueryRoundTrip(t *testing.T) {
 	if out.Answer == "" || out.Kind != string(luna.AnswerNumber) {
 		t.Errorf("query answer = %q kind = %q", out.Answer, out.Kind)
 	}
-	if len(out.Plan) == 0 || !strings.Contains(string(out.Plan), luna.OpQueryDatabase) {
-		t.Errorf("include_plan should attach the logical plan, got %s", out.Plan)
+	if out.Plan == nil || !strings.Contains(string(out.Plan.Rewritten), luna.OpQueryDatabase) {
+		t.Errorf("include_plan should attach the rewritten plan, got %+v", out.Plan)
+	}
+	if out.Plan != nil && (len(out.Plan.Original) == 0 || out.Plan.Compiled == "") {
+		t.Errorf("include_plan should carry the original plan and the compiled pipeline, got %+v", out.Plan)
 	}
 	if out.TraceID == "" || out.TraceID != resp.Header.Get("X-Trace-Id") {
 		t.Errorf("trace mismatch: body %q header %q", out.TraceID, resp.Header.Get("X-Trace-Id"))

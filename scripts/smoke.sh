@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Server smoke test: boot arynd against the simulated LLM, run a health
-# check plus one ingest→query→chat round-trip, and fail on any non-200.
-# CI runs this on every push (make smoke); it is the end-to-end proof
-# that the serving layer, admission gate, and session plumbing hold
-# together outside the Go test harness.
+# check plus ingest→query→chat and plan→edit→re-execute round-trips
+# (§6.2 inspect→edit→re-run over HTTP), and fail on any non-200 — plus a
+# regression that invalid plans come back as 400 with a structured
+# {"errors": [...]} array. CI runs this on every push (make smoke); it is
+# the end-to-end proof that the serving layer, admission gate, plan API,
+# and session plumbing hold together outside the Go test harness.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -60,6 +62,36 @@ echo "smoke: one-shot query..."
 QUERY=$(curl -fsS -X POST "$BASE/query" -d '{"question":"How many incidents were there?"}')
 echo "$QUERY" | grep -q '"answer": "16"' || {
   echo "smoke: query answer should be 16: $QUERY" >&2; exit 1; }
+
+echo "smoke: plan without executing..."
+PLAN=$(curl -fsS -X POST "$BASE/plan" -d '{"question":"How many incidents were there?"}')
+echo "$PLAN" | grep -q '"nodes"' || {
+  echo "smoke: /plan should return DAG plan JSON: $PLAN" >&2; exit 1; }
+echo "$PLAN" | grep -q '"compiled"' || {
+  echo "smoke: /plan should return the compiled pipeline: $PLAN" >&2; exit 1; }
+
+echo "smoke: execute an edited plan..."
+# A hand-edited DAG: two scan roots self-joined on accident number, then
+# counted — the join keeps each of the 16 documents exactly once.
+EDITED='{"nodes":[
+  {"id":"n1","op":"queryDatabase"},
+  {"id":"n2","op":"queryDatabase"},
+  {"id":"n3","op":"join","inputs":["n1","n2"],"left_key":"accidentNumber","right_key":"accidentNumber","join_kind":"semi"},
+  {"id":"n4","op":"count","inputs":["n3"]}],"output":"n4"}'
+REPLAY=$(curl -fsS -X POST "$BASE/query" -d "{\"plan\":$EDITED}")
+echo "$REPLAY" | grep -q '"answer": "16"' || {
+  echo "smoke: edited join plan should count 16: $REPLAY" >&2; exit 1; }
+
+echo "smoke: invalid plan returns 400 with structured errors..."
+BADPLAN='{"plan":{"nodes":[{"id":"n1","op":"queryDatabase","filters":[{"field":"hallucinated","kind":"fuzzy","value":1}]},{"id":"n2","op":"llmFilter","inputs":["n1"]},{"id":"n3","op":"count","inputs":["n2"]}],"output":"n3"}}'
+BADSTATUS=$(curl -sS -o /tmp/smoke_bad_plan.$$ -w '%{http_code}' -X POST "$BASE/query" -d "$BADPLAN")
+BAD=$(cat /tmp/smoke_bad_plan.$$; rm -f /tmp/smoke_bad_plan.$$)
+[ "$BADSTATUS" = "400" ] || {
+  echo "smoke: invalid plan should be 400, got $BADSTATUS: $BAD" >&2; exit 1; }
+echo "$BAD" | grep -q '"errors"' || {
+  echo "smoke: 400 should carry a structured errors array: $BAD" >&2; exit 1; }
+echo "$BAD" | grep -q 'hallucinated' && echo "$BAD" | grep -q 'llmFilter requires a question' || {
+  echo "smoke: errors array should list every node failure: $BAD" >&2; exit 1; }
 
 echo "smoke: chat session round-trip..."
 CHAT1=$(curl -fsS -X POST "$BASE/chat" -d '{"question":"How many incidents involved substantial damage?"}')
