@@ -7,7 +7,7 @@ GO ?= go
 # Pinned staticcheck release; CI installs exactly this and caches it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint staticcheck print-staticcheck-version smoke bench bench-retrieval ci
+.PHONY: build test lint staticcheck print-staticcheck-version smoke bench bench-retrieval docs-check ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ print-staticcheck-version:
 # round-trip over HTTP, graceful shutdown.
 smoke:
 	./scripts/smoke.sh
+
+# Documentation gates: every internal/ package has a doc.go package
+# comment, and every relative markdown link resolves. Hermetic (no
+# network, no Go toolchain); CI runs it as its own job, separate from
+# the build matrix.
+docs-check:
+	./scripts/docscheck.sh
 
 # Bench smoke: every benchmark compiles and completes one iteration, so
 # bench_test.go cannot silently rot. Full runs use -benchtime=default.

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	aryn -docs 100 -q "How many incidents were there by state?" -show-plan -show-trace
+//	aryn -q "..." -explain            # EXPLAIN ANALYZE: per-node runtime metrics
 //	aryn -docs 100 -interactive        # conversational session with follow-ups
 //	aryn -demo schema                  # print the extracted Table 3 schema
 //	aryn -rag -q "..."                 # answer via the RAG baseline instead
@@ -34,6 +35,7 @@ func main() {
 		interactive = flag.Bool("interactive", false, "start a conversational session on stdin")
 		showPlan    = flag.Bool("show-plan", false, "print the logical plan JSON")
 		showTrace   = flag.Bool("show-trace", false, "print the execution trace")
+		explain     = flag.Bool("explain", false, "print EXPLAIN ANALYZE: the executed plan annotated with per-node runtime metrics")
 		showDocs    = flag.Bool("show-docs", false, "print result documents (drill-down)")
 		useRAG      = flag.Bool("rag", false, "answer with the RAG baseline instead of Luna")
 		demo        = flag.String("demo", "", "demo mode: 'schema' prints the extracted schema (Table 3)")
@@ -41,13 +43,19 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*nDocs, *seed, *sysSeed, *parallelism, *question, *demo, *interactive, *showPlan, *showTrace, *showDocs, *useRAG); err != nil {
+	show := display{plan: *showPlan, trace: *showTrace, docs: *showDocs, explain: *explain}
+	if err := run(*nDocs, *seed, *sysSeed, *parallelism, *question, *demo, *interactive, show, *useRAG); err != nil {
 		fmt.Fprintln(os.Stderr, "aryn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string, interactive, showPlan, showTrace, showDocs, useRAG bool) error {
+// display selects which views of a result the CLI prints.
+type display struct {
+	plan, trace, docs, explain bool
+}
+
+func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string, interactive bool, show display, useRAG bool) error {
 	ctx := context.Background()
 	fmt.Printf("generating %d synthetic NTSB accidents (seed %d)...\n", nDocs, seed)
 	corpus, err := ntsb.GenerateCorpus(nDocs, seed)
@@ -74,16 +82,16 @@ func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string,
 		fmt.Print(sys.Schema.PromptBlock())
 		return nil
 	case interactive:
-		return repl(ctx, sys, showPlan, showTrace, showDocs)
+		return repl(ctx, sys, show)
 	case question != "":
-		return answer(ctx, sys, question, showPlan, showTrace, showDocs, useRAG)
+		return answer(ctx, sys, question, show, useRAG)
 	default:
 		flag.Usage()
 		return nil
 	}
 }
 
-func answer(ctx context.Context, sys *core.System, q string, showPlan, showTrace, showDocs, useRAG bool) error {
+func answer(ctx context.Context, sys *core.System, q string, show display, useRAG bool) error {
 	if useRAG {
 		resp, err := sys.AskRAG(ctx, q)
 		if err != nil {
@@ -96,23 +104,27 @@ func answer(ctx context.Context, sys *core.System, q string, showPlan, showTrace
 	if err != nil {
 		return err
 	}
-	printResult(res, showPlan, showTrace, showDocs)
+	printResult(res, show)
 	return nil
 }
 
-func printResult(res *luna.Result, showPlan, showTrace, showDocs bool) {
+func printResult(res *luna.Result, show display) {
 	fmt.Printf("Q: %s\nA: %s\n", res.Question, res.Answer.String())
-	if showPlan {
+	if show.plan {
 		fmt.Println("\n-- logical plan --")
 		fmt.Println(res.Rewritten.JSON())
 		fmt.Println("\n-- compiled Sycamore pipeline --")
 		fmt.Println(res.Compiled)
 	}
-	if showTrace && res.Trace != nil {
+	if show.trace && res.Trace != nil {
 		fmt.Println("\n-- execution trace --")
 		fmt.Print(res.Trace.String())
 	}
-	if showDocs {
+	if show.explain && res.Exec != nil {
+		fmt.Println("\n-- explain analyze --")
+		fmt.Println(res.Rewritten.AnnotatedJSON(res.Exec))
+	}
+	if show.docs {
 		fmt.Println("\n-- result documents --")
 		for i, d := range res.Docs {
 			if i >= 10 {
@@ -125,7 +137,7 @@ func printResult(res *luna.Result, showPlan, showTrace, showDocs bool) {
 	fmt.Println()
 }
 
-func repl(ctx context.Context, sys *core.System, showPlan, showTrace, showDocs bool) error {
+func repl(ctx context.Context, sys *core.System, show display) error {
 	fmt.Println("conversational session — ask questions; follow-ups like \"what about X\" refine the last query; 'quit' to exit")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -145,6 +157,6 @@ func repl(ctx context.Context, sys *core.System, showPlan, showTrace, showDocs b
 			fmt.Println("error:", err)
 			continue
 		}
-		printResult(res, showPlan, showTrace, showDocs)
+		printResult(res, show)
 	}
 }

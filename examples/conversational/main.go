@@ -100,4 +100,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nQ5 (DAG join plan):\n%s\n-> %s\n", joinPlan.String(), res5.Answer.String())
+
+	// EXPLAIN ANALYZE: the executed plan annotated with per-node runtime —
+	// wall/busy time, docs in/out, LLM calls/tokens/cache hits. The two
+	// scan roots are independent branches: the scheduler ran them
+	// concurrently (their busy windows overlap), under one worker budget.
+	// Over HTTP the same view is POST /plan {"plan": ..., "analyze": true}
+	// or POST /query {"include_plan": true} (see docs/plan-api.md).
+	fmt.Println("\nEXPLAIN ANALYZE (executed plan with per-node runtime):")
+	fmt.Println(res5.Rewritten.AnnotatedJSON(res5.Exec))
 }

@@ -1,7 +1,3 @@
-// Package core is the Aryn system facade: it wires DocParse, Sycamore,
-// the index store, Luna, and the RAG baseline into the end-to-end
-// platform of Figure 1, exposing Ingest (the ETL pipeline of Fig. 4) and
-// Ask (natural-language analytics).
 package core
 
 import (

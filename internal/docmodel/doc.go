@@ -1,0 +1,15 @@
+// Package docmodel defines the hierarchical, multi-modal document model
+// at the heart of Sycamore (§5.1 of the paper). A document is a tree:
+// each node carries content (text or binary), an ordered list of
+// children, and a set of JSON-like key/value properties. Leaf nodes are
+// Elements, each labeled with one of the 11 DocLayNet layout classes.
+//
+// Paper counterpart: the DocSet element — "hierarchical documents with a
+// flexible schema" (§5.1).
+//
+// Concurrency: documents are plain data with no internal locking. The
+// system-wide sharing convention is immutable-on-write: index snapshots
+// and shared-subtree replays hand out documents that must be treated as
+// read-only; any pipeline that mutates clones at its source (Clone is a
+// deep copy). Goroutines may read one document concurrently, never write.
+package docmodel

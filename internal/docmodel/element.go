@@ -1,8 +1,3 @@
-// Package docmodel defines the hierarchical, multi-modal document model at
-// the heart of Sycamore (§5.1 of the paper). A document is a tree: each node
-// carries content (text or binary), an ordered list of children, and a set of
-// JSON-like key/value properties. Leaf nodes are Elements, each labeled with
-// one of the 11 DocLayNet layout classes.
 package docmodel
 
 import (

@@ -1,0 +1,15 @@
+// Package docparse implements the paper's DocParse service (§4, Fig. 3):
+// a compound pipeline that splits a raw document into pages, runs the
+// segmentation model on each rendered page, extracts text per region
+// (direct or OCR), applies type-specific processing (table-structure
+// recovery, image summarization), and assembles the labeled chunks into a
+// parsed Document in reading order.
+//
+// Paper counterpart: Aryn DocParse, the document-partitioning service of
+// §4 (Figures 2–3, Table 1).
+//
+// Concurrency: a Service is read-only after construction and all
+// randomness derives from per-document seeds, so concurrent Partition
+// calls are safe — the DocSet partition stage relies on this to fan
+// documents across workers.
+package docparse

@@ -1,9 +1,3 @@
-// Package docparse implements the paper's DocParse service (§4, Fig. 3):
-// a compound pipeline that splits a raw document into pages, runs the
-// segmentation model on each rendered page, extracts text per region
-// (direct or OCR), applies type-specific processing (table-structure
-// recovery, image summarization), and assembles the labeled chunks into a
-// parsed Document in reading order.
 package docparse
 
 import (

@@ -1,12 +1,8 @@
-// Package docset implements Sycamore's core abstraction (§5): DocSets —
-// reliable, lazily-evaluated collections of hierarchical documents — and
-// the structured and semantic operators of Table 2. Transform chains build
-// a logical plan; Execute runs it as a pipelined dataflow with bounded
-// parallelism, per-call retries, deterministic output ordering, and a full
-// per-operator lineage trace.
 package docset
 
 import (
+	"context"
+
 	"aryn/internal/embed"
 	"aryn/internal/llm"
 )
@@ -27,6 +23,84 @@ type Context struct {
 	// SampleSize is how many document summaries each operator keeps in its
 	// lineage trace (default 3).
 	SampleSize int
+
+	// budget, when set, caps the busy map-stage workers across every
+	// pipeline sharing this context — the per-query worker budget the
+	// scheduler installs so a plan whose branches execute concurrently
+	// still draws at most Parallelism workers from the pool the server
+	// shares between sessions. Nil means per-stage parallelism only (the
+	// historical contract for direct docset users).
+	budget *workerBudget
+}
+
+// workerBudget is a counting semaphore over busy workers. Tokens are held
+// only while a stage is actively processing a document — never across
+// channel sends or subtree waits — so pipelines sharing a budget cannot
+// deadlock on it, and an idle branch's capacity is immediately available
+// to its siblings (work-conserving).
+type workerBudget struct {
+	slots chan struct{}
+}
+
+func newWorkerBudget(n int) *workerBudget {
+	if n < 1 {
+		n = 1
+	}
+	return &workerBudget{slots: make(chan struct{}, n)}
+}
+
+// QueryScope returns a copy of the context with a fresh worker budget of
+// Parallelism slots shared by every pipeline lowered under it. The Luna
+// executor opens one scope per query; the scope's budget is what lets it
+// schedule independent plan branches concurrently without multiplying the
+// query's worker footprint by the branch count.
+func (c *Context) QueryScope() *Context {
+	out := *c
+	out.budget = newWorkerBudget(c.Parallelism)
+	return &out
+}
+
+// acquireWorker blocks until a budget slot is free (or ctx is done).
+// No-op without a budget.
+func (c *Context) acquireWorker(ctx context.Context) error {
+	if c.budget == nil {
+		return nil
+	}
+	select {
+	case c.budget.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseWorker returns a slot taken by acquireWorker.
+func (c *Context) releaseWorker() {
+	if c.budget == nil {
+		return
+	}
+	<-c.budget.slots
+}
+
+// forStage returns a stage-scoped view of the context whose LLM client
+// records per-call activity into the stage's trace node. Attribution at
+// dispatch is what makes shared subtrees report their usage exactly once:
+// the calls land on the subtree's own stages, not on every consumer that
+// replays its output.
+//
+// yieldsBudget marks stages whose workers hold a budget token while the
+// client is invoked (map stages): their calls release the slot for the
+// duration of the model round-trip — a worker blocked on the network is
+// not drawing on the worker pool, so a sibling branch can compute while
+// this one waits. Barrier and source stages never hold tokens and must
+// not yield.
+func (c *Context) forStage(nt *NodeTrace, yieldsBudget bool) *Context {
+	if c.LLM == nil {
+		return c
+	}
+	out := *c
+	out.LLM = &tracingLLM{inner: c.LLM, nt: nt, yield: c.budget, yields: yieldsBudget}
+	return &out
 }
 
 // Option configures a Context.

@@ -1,0 +1,23 @@
+// Package docset implements Sycamore's core abstraction (§5): DocSets —
+// reliable, lazily-evaluated collections of hierarchical documents — and
+// the structured and semantic operators of Table 2. Transform chains
+// build a logical plan; Execute runs it as a pipelined dataflow with
+// bounded parallelism, per-call retries, deterministic output ordering,
+// and a full per-operator lineage trace.
+//
+// Paper counterpart: Sycamore, the DocSet ETL/analytics engine of §5.
+//
+// Concurrency: DocSets are immutable plans — every transform returns a
+// new value, so building and executing DocSets from many goroutines is
+// safe. Execute runs each map stage with Context.Parallelism workers;
+// output order is made deterministic by hierarchical sequence numbers, so
+// results are byte-identical at any parallelism. Independent subtrees
+// wrap as Tasks (schedule.go): a Task executes at most once no matter how
+// many consumers race to demand it, and replays its output to all of
+// them. A query-scoped Context (QueryScope) adds a worker budget — a
+// work-conserving semaphore over busy workers shared by every pipeline of
+// one query — so concurrent branches never multiply the query's worker
+// footprint; workers yield their slot while blocked on a model
+// round-trip. Traces attribute LLM calls to the dispatching stage exactly
+// once.
+package docset

@@ -29,6 +29,28 @@ func (ds *DocSet) with(sp stageSpec) *DocSet {
 	return &DocSet{ctx: ds.ctx, source: ds.source, stages: stages}
 }
 
+// Tag labels the plan-node identity of the operators this DocSet adds
+// over base: every stage beyond base's stage count, plus the source when
+// base is nil (a source belongs to the node that created it). Compilers
+// call Tag after lowering each logical node so execution traces can be
+// aggregated back to plan nodes (EXPLAIN ANALYZE). Returns a copy; ds is
+// unchanged.
+func (ds *DocSet) Tag(base *DocSet, tag string) *DocSet {
+	out := &DocSet{ctx: ds.ctx, source: ds.source}
+	out.stages = make([]stageSpec, len(ds.stages))
+	copy(out.stages, ds.stages)
+	from := 0
+	if base != nil {
+		from = len(base.stages)
+	} else {
+		out.source.tag = tag
+	}
+	for i := from; i < len(out.stages); i++ {
+		out.stages[i].tag = tag
+	}
+	return out
+}
+
 // FromDocuments builds a DocSet over an in-memory document slice. The
 // caller keeps ownership: when the plan contains a mutating operator the
 // executor clones documents at the source, and pure-read plans flow the

@@ -56,7 +56,11 @@ const (
 
 // stageSpec is the plan-time description of one operator.
 type stageSpec struct {
-	name      string
+	name string
+	// tag is the logical plan-node ID this stage was compiled from (""
+	// when the stage has no logical counterpart). Copied onto the stage's
+	// NodeTrace so EXPLAIN ANALYZE can aggregate runtime by plan node.
+	tag       string
 	kind      stageKind
 	mapFn     func(*Context, *docmodel.Document) ([]*docmodel.Document, error)
 	barrierFn func(*Context, []*docmodel.Document) ([]*docmodel.Document, error)
@@ -80,6 +84,9 @@ type stageSpec struct {
 // sourceSpec produces the root documents of a plan.
 type sourceSpec struct {
 	name string
+	// tag is the logical plan-node ID this source was compiled from (see
+	// stageSpec.tag).
+	tag  string
 	emit func(ctx context.Context, ec *Context, yield func(*docmodel.Document) error) error
 	// shared marks sources that yield documents owned by someone else
 	// (index.Store snapshots, caller-held slices) rather than documents
@@ -113,10 +120,10 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 	trace := &Trace{}
 	llmBefore, hasLLMStats := llm.StatsOf(ds.ctx.LLM)
 	traces := make([]*NodeTrace, 0, len(ds.stages)+1)
-	srcTrace := newNodeTrace(ds.source.name, ds.ctx.SampleSize)
+	srcTrace := newNodeTrace(ds.source.name, ds.source.tag, ds.ctx.SampleSize)
 	traces = append(traces, srcTrace)
 	for _, sp := range ds.stages {
-		traces = append(traces, newNodeTrace(sp.name, ds.ctx.SampleSize))
+		traces = append(traces, newNodeTrace(sp.name, sp.tag, ds.ctx.SampleSize))
 	}
 	trace.Nodes = traces
 
@@ -134,8 +141,12 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 	go func() {
 		defer wg.Done()
 		defer close(srcOut)
+		// Busy spans cover the source's own work between yields — never
+		// the time blocked handing documents to a backpressured consumer —
+		// so EXPLAIN ANALYZE attributes downstream latency downstream.
+		resumed := time.Now()
 		i := 0
-		err := ds.source.emit(cctx, ds.ctx, func(d *docmodel.Document) error {
+		err := ds.source.emit(cctx, ds.ctx.forStage(srcTrace, false), func(d *docmodel.Document) error {
 			if cloneAtSource {
 				d = d.Clone()
 			}
@@ -145,6 +156,8 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 			// Sample before sending: once a document crosses the channel its
 			// ownership transfers downstream.
 			srcTrace.addSample(d.Summary())
+			srcTrace.noteSpan(resumed, time.Now())
+			defer func() { resumed = time.Now() }()
 			select {
 			case srcOut <- env:
 				atomic.AddInt64(&srcTrace.Out, 1)
@@ -153,6 +166,7 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 				return cctx.Err()
 			}
 		})
+		srcTrace.noteSpan(resumed, time.Now())
 		if err != nil {
 			errs[0] = err
 			cancel()
@@ -171,9 +185,9 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 			var err error
 			switch sp.kind {
 			case mapKind:
-				err = runMapStage(cctx, ds.ctx, sp, nt, in, out)
+				err = runMapStage(cctx, ds.ctx.forStage(nt, true), sp, nt, in, out)
 			case barrierKind:
-				err = runBarrierStage(cctx, ds.ctx, sp, nt, in, out)
+				err = runBarrierStage(cctx, ds.ctx.forStage(nt, false), sp, nt, in, out)
 			default:
 				err = fmt.Errorf("docset: unknown stage kind %d", sp.kind)
 			}
@@ -253,9 +267,16 @@ func runMapStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTrace, 
 					return
 				}
 				atomic.AddInt64(&nt.In, 1)
+				// The budget token is held for exactly the busy span —
+				// never across channel sends — so concurrent branches
+				// share the per-query worker budget without deadlock.
+				if err := ec.acquireWorker(ctx); err != nil {
+					return
+				}
 				t0 := time.Now()
 				results, err := applyWithRetry(ctx, ec, sp.mapFn, env.doc, nt)
-				nt.addDuration(time.Since(t0))
+				nt.noteSpan(t0, time.Now())
+				ec.releaseWorker()
 				if err != nil {
 					fail(fmt.Errorf("%s: %w", sp.name, err))
 					return
@@ -324,7 +345,7 @@ func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTra
 	} else {
 		results, err = sp.barrierFn(ec, docs)
 	}
-	nt.addDuration(time.Since(t0))
+	nt.noteSpan(t0, time.Now())
 	if err != nil {
 		return fmt.Errorf("%s: %w", sp.name, err)
 	}

@@ -40,8 +40,32 @@ const (
 //
 // The right side is fully executed and built into a hash table when the
 // join stage runs (broadcast-hash-join semantics); use the smaller
-// collection as the right side.
+// collection as the right side. Join executes the build side afresh on
+// every run of the joined plan (the historical contract for direct
+// docset users). The Luna scheduler lowers joins through JoinTask
+// instead, so the build executes concurrently with the probe side.
 func (ds *DocSet) Join(right *DocSet, leftKey, rightKey, prefix string, kind JoinKind) *DocSet {
+	return ds.join(leftKey, rightKey, prefix, kind,
+		func(ctx context.Context) ([]*docmodel.Document, error) {
+			docs, _, err := right.Execute(ctx)
+			return docs, err
+		})
+}
+
+// JoinTask hash-joins this DocSet (the probe side) against a prebuilt
+// build-side Task: the probe barrier waits for the task's documents
+// instead of executing the build side inline, so a scheduler that started
+// the task at query begin overlaps build and probe work. Because a Task
+// executes at most once, the joined DocSet is single-use — compilers
+// create a fresh Task per run (Join's per-execution semantics are
+// otherwise identical).
+func (ds *DocSet) JoinTask(build *Task, leftKey, rightKey, prefix string, kind JoinKind) *DocSet {
+	return ds.join(leftKey, rightKey, prefix, kind, build.Wait)
+}
+
+// join is the shared probe: buildFn produces the build-side documents
+// when the barrier runs.
+func (ds *DocSet) join(leftKey, rightKey, prefix string, kind JoinKind, buildFn func(context.Context) ([]*docmodel.Document, error)) *DocSet {
 	if prefix == "" {
 		prefix = "right"
 	}
@@ -49,9 +73,11 @@ func (ds *DocSet) Join(right *DocSet, leftKey, rightKey, prefix string, kind Joi
 		name: fmt.Sprintf("join[%s, %s=%s]", kind, leftKey, rightKey),
 		kind: barrierKind,
 		// The build side runs under the outer plan's context, so a
-		// cancelled or timed-out query aborts right-side work too.
+		// cancelled or timed-out query aborts right-side work too. The
+		// barrier holds no worker-budget token while waiting, so the
+		// build side can always draw workers.
 		barrierCtxFn: func(ctx context.Context, ec *Context, docs []*docmodel.Document) ([]*docmodel.Document, error) {
-			rightDocs, _, err := right.Execute(ctx)
+			rightDocs, err := buildFn(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("join: right side: %w", err)
 			}

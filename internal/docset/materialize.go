@@ -2,7 +2,6 @@ package docset
 
 import (
 	"compress/gzip"
-	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -62,29 +61,23 @@ func (ds *DocSet) MaterializeMemory(cache *MemoryCache, name string) *DocSet {
 // so the shared prefix is not re-computed per consumer. The replayed
 // documents are marked shared: consumers with mutating stages clone at
 // their source, keeping branches isolated.
+//
+// Shared is the lazy convenience form of ShareTask: execution starts on
+// first demand. The Luna scheduler uses ShareTask directly so it can
+// start the subtree eagerly, concurrent with the branches that consume
+// it, and collect its lineage trace (which this form discards). Either
+// way the subtree's LLM usage is attributed to its own stages exactly
+// once — concurrent first-demand from two consumers cannot double-count
+// it, because attribution happens at call dispatch, not by re-tracing
+// each consumer's execution window.
 func (ds *DocSet) Shared() *DocSet {
-	var once sync.Once
-	var docs []*docmodel.Document
-	var err error
-	return &DocSet{
-		ctx: ds.ctx,
-		source: sourceSpec{
-			name:   fmt.Sprintf("shared[%s +%d stages]", ds.source.name, len(ds.stages)),
-			shared: true,
-			emit: func(ctx context.Context, _ *Context, yield func(*docmodel.Document) error) error {
-				once.Do(func() { docs, _, err = ds.Execute(ctx) })
-				if err != nil {
-					return fmt.Errorf("shared subtree: %w", err)
-				}
-				for _, d := range docs {
-					if yerr := yield(d); yerr != nil {
-						return yerr
-					}
-				}
-				return nil
-			},
-		},
-	}
+	return ds.ShareTask().DocSet()
+}
+
+// ShareTask wraps this DocSet as a schedulable Task whose output replays
+// to any number of consumers (see Task).
+func (ds *DocSet) ShareTask() *Task {
+	return NewTask(fmt.Sprintf("shared[%s +%d stages]", ds.source.name, len(ds.stages)), ds)
 }
 
 // MaterializeDisk writes the documents flowing through this point to a

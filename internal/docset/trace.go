@@ -1,9 +1,11 @@
 package docset
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aryn/internal/llm"
@@ -19,7 +21,11 @@ type Trace struct {
 	Wall time.Duration
 	// LLM reports call-middleware activity during this run (cache hits,
 	// singleflight collapses, batch sizes) when the context's client
-	// carries a middleware stack; nil otherwise.
+	// carries a middleware stack; nil otherwise. When branches of one
+	// query execute concurrently their middleware windows overlap, so the
+	// scheduler replaces the per-branch deltas with a single query-level
+	// delta in the merged trace (per-node attribution lives in the
+	// NodeTrace LLM counters, which count each call exactly once).
 	LLM *llm.StackStats
 }
 
@@ -27,21 +33,38 @@ type Trace struct {
 type NodeTrace struct {
 	// Name is the operator's display name (e.g. "llmFilter[engine problems]").
 	Name string
+	// Tag is the logical plan-node ID this operator was compiled from
+	// ("" for operators with no logical counterpart, e.g. shared-subtree
+	// replay sources). EXPLAIN ANALYZE aggregates runtime stats by tag.
+	Tag string
 	// In and Out count documents entering and leaving the operator.
 	In, Out int64
 	// Retries counts transient-failure retries performed.
 	Retries int64
 	// Duration is the operator's busy time across workers.
 	Duration time.Duration
+	// LLMCalls, PromptTokens, CompletionTokens, and CacheHits count
+	// language-model activity issued by this operator's workers. Calls are
+	// attributed at dispatch, so a subtree shared by several consumers
+	// reports its usage exactly once no matter how many branches replay
+	// its output. Token counts are true upstream spend: responses served
+	// from the middleware cache count as a CacheHit with zero tokens.
+	LLMCalls         int64
+	PromptTokens     int64
+	CompletionTokens int64
+	CacheHits        int64
 	// Samples holds up to SampleSize one-line summaries of output docs.
 	Samples []string
 
 	mu  sync.Mutex
 	cap int
+	// start/end bound the operator's busy window (first work started /
+	// last work finished). Zero when the operator never ran work.
+	start, end time.Time
 }
 
-func newNodeTrace(name string, sampleCap int) *NodeTrace {
-	return &NodeTrace{Name: name, cap: sampleCap}
+func newNodeTrace(name, tag string, sampleCap int) *NodeTrace {
+	return &NodeTrace{Name: name, Tag: tag, cap: sampleCap}
 }
 
 func (n *NodeTrace) addSample(s string) {
@@ -52,18 +75,35 @@ func (n *NodeTrace) addSample(s string) {
 	}
 }
 
-func (n *NodeTrace) addDuration(d time.Duration) {
+// noteSpan records one unit of work: busy time accumulates and the busy
+// window widens. The window is what EXPLAIN ANALYZE uses to show that
+// independent branches of a plan actually overlapped in wall-clock time.
+func (n *NodeTrace) noteSpan(t0, t1 time.Time) {
 	n.mu.Lock()
-	n.Duration += d
+	n.Duration += t1.Sub(t0)
+	if n.start.IsZero() || t0.Before(n.start) {
+		n.start = t0
+	}
+	if t1.After(n.end) {
+		n.end = t1
+	}
 	n.mu.Unlock()
+}
+
+// Window returns the operator's busy window (zero times if it never ran).
+func (n *NodeTrace) Window() (start, end time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.start, n.end
 }
 
 // String renders the trace as the operator table the CLI shows.
 func (t *Trace) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-40s %8s %8s %8s %10s\n", "operator", "in", "out", "retries", "busy")
+	fmt.Fprintf(&sb, "%-40s %8s %8s %8s %10s %6s\n", "operator", "in", "out", "retries", "busy", "llm")
 	for _, n := range t.Nodes {
-		fmt.Fprintf(&sb, "%-40s %8d %8d %8d %10s\n", truncName(n.Name, 40), n.In, n.Out, n.Retries, n.Duration.Round(time.Microsecond))
+		fmt.Fprintf(&sb, "%-40s %8d %8d %8d %10s %6d\n",
+			truncName(n.Name, 40), n.In, n.Out, n.Retries, n.Duration.Round(time.Microsecond), n.LLMCalls)
 	}
 	fmt.Fprintf(&sb, "wall time: %s\n", t.Wall.Round(time.Microsecond))
 	if t.LLM != nil {
@@ -98,9 +138,62 @@ func (t *Trace) Node(name string) *NodeTrace {
 	return nil
 }
 
+// Tagged returns every trace entry compiled from the given logical plan
+// node, in pipeline order (a logical operator may lower to several
+// physical stages).
+func (t *Trace) Tagged(tag string) []*NodeTrace {
+	var out []*NodeTrace
+	for _, n := range t.Nodes {
+		if n.Tag == tag {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func truncName(s string, n int) string {
 	if len(s) <= n {
 		return s
 	}
 	return s[:n-1] + "…"
 }
+
+// tracingLLM wraps the context's LLM client for one stage, counting every
+// call into that stage's trace node. It preserves middleware-stats
+// discovery (llm.StatsOf) by exposing the wrapped client. For map stages
+// (yields set) it also releases the caller's worker-budget slot for the
+// duration of the round-trip: the budget caps busy workers, and a worker
+// blocked on the model is not busy — this is what lets concurrent
+// branches overlap their model latency instead of serializing on the
+// budget.
+type tracingLLM struct {
+	inner  llm.Client
+	nt     *NodeTrace
+	yield  *workerBudget
+	yields bool
+}
+
+// Complete forwards the call and records it against the stage.
+func (t *tracingLLM) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if t.yields && t.yield != nil {
+		<-t.yield.slots
+		defer func() { t.yield.slots <- struct{}{} }()
+	}
+	resp, err := t.inner.Complete(ctx, req)
+	if err == nil {
+		atomic.AddInt64(&t.nt.LLMCalls, 1)
+		atomic.AddInt64(&t.nt.PromptTokens, int64(resp.Usage.PromptTokens))
+		atomic.AddInt64(&t.nt.CompletionTokens, int64(resp.Usage.CompletionTokens))
+		if resp.FromCache {
+			atomic.AddInt64(&t.nt.CacheHits, 1)
+		}
+	}
+	return resp, err
+}
+
+// Name identifies the backing model.
+func (t *tracingLLM) Name() string { return t.inner.Name() }
+
+// Inner exposes the wrapped client so llm.StatsOf keeps walking the
+// middleware chain through the per-stage wrapper.
+func (t *tracingLLM) Inner() llm.Client { return t.inner }

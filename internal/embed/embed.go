@@ -1,9 +1,3 @@
-// Package embed provides the deterministic text-embedding model used in
-// place of all-MiniLM-L6-v2. Each token hashes to a seeded random direction
-// in R^d; a text embeds as the L2-normalized sum of its token directions
-// (with sub-linear term weighting). Texts sharing vocabulary land near each
-// other under cosine similarity — the property vector retrieval needs —
-// and identical inputs embed identically across runs.
 package embed
 
 import (

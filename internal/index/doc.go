@@ -1,0 +1,15 @@
+// Package index is the in-process data store standing in for OpenSearch
+// (§6.1): keyword (BM25) search over chunk text, typed property filters,
+// and vector similarity search (exact and HNSW), with chunk→document
+// reassembly. Luna only requires these three contracts of its backing
+// store, so the substitution preserves the paper's query surface.
+//
+// Paper counterpart: the OpenSearch indexes Sycamore loads and Luna
+// queries (§3, §6.1).
+//
+// Concurrency: Store is safe for concurrent readers and writers behind
+// internal locks. Reads are zero-clone: documents are deep-cloned once on
+// Put and the shared snapshot is returned directly thereafter — callers
+// must treat returned documents as read-only (DocSet pipelines clone at
+// the source when a plan mutates).
+package index

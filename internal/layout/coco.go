@@ -1,7 +1,3 @@
-// Package layout provides the segmentation benchmark of §4.1: a synthetic
-// multi-domain labeled page corpus standing in for the DocLayNet
-// competition set, and a faithful COCO-style evaluator (mAP@[.50:.95] and
-// mAR) for ranking segmentation services — the methodology behind Table 1.
 package layout
 
 import (

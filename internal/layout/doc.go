@@ -1,0 +1,11 @@
+// Package layout provides the segmentation benchmark of §4.1: a
+// synthetic multi-domain labeled page corpus standing in for the
+// DocLayNet competition set, and a faithful COCO-style evaluator
+// (mAP@[.50:.95] and mAR) for ranking segmentation services — the
+// methodology behind Table 1.
+//
+// Paper counterpart: the DocLayNet evaluation of §4.1 (Table 1).
+//
+// Concurrency: pure functions over caller-owned data; no shared state.
+// Evaluations of different pages may run in parallel freely.
+package layout

@@ -1,0 +1,21 @@
+// Package llm defines the language-model abstraction Sycamore's semantic
+// operators and Luna's planner are built on, the call middleware stack
+// (content-addressed cache, singleflight, batching), and Sim — a
+// deterministic, heuristic stand-in for GPT-4o-class models.
+//
+// The paper's results depend on the *system behaviour* of LLMs, not their
+// raw intelligence: bounded context windows, lossy attention over long
+// prompts, over-generous filters, boilerplate-driven refusals, and
+// reliable narrow-task performance when queries are decomposed (§2
+// tenets, §7.2 failure analysis). Sim reproduces those mechanisms with
+// seeded determinism so every experiment regenerates identically.
+//
+// Paper counterpart: the GPT-4o calls made by Sycamore transforms and the
+// Luna planner (§5.2, §6.1).
+//
+// Concurrency: every Client in this package (Sim, Meter, Stack and its
+// middleware layers, Scripted) is safe for concurrent Complete calls;
+// pipeline workers, concurrent queries, and the serving layer all share
+// one client chain. The singleflight and batching layers exist precisely
+// to exploit concurrent callers.
+package llm

@@ -1,13 +1,3 @@
-// Package llm defines the language-model abstraction Sycamore's semantic
-// operators and Luna's planner are built on, and provides Sim — a
-// deterministic, heuristic stand-in for GPT-4o-class models.
-//
-// The paper's results depend on the *system behaviour* of LLMs, not their
-// raw intelligence: bounded context windows, lossy attention over long
-// prompts, over-generous filters, boilerplate-driven refusals, and reliable
-// narrow-task performance when queries are decomposed (§2 tenets, §7.2
-// failure analysis). Sim reproduces those mechanisms with seeded
-// determinism so every experiment regenerates identically.
 package llm
 
 import (

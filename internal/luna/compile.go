@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"aryn/internal/docmodel"
 	"aryn/internal/docset"
@@ -13,11 +14,25 @@ import (
 
 // Executor lowers validated logical plans onto Sycamore DocSet pipelines
 // and derives typed answers from the terminal operator (§6.1 Execution).
+//
+// Independent branches of the physical plan — join build sides, diamond
+// prefixes shared by several consumers, extra roots of a multi-root DAG —
+// are compiled into docset.Tasks and started together when Run begins, so
+// they execute concurrently instead of lazily in topological order. A
+// per-query worker budget (docset.Context.QueryScope) splits the
+// context's Parallelism across every concurrently-running node, so one
+// query draws the same worker footprint from the server's shared pool no
+// matter how many branches its plan has.
 type Executor struct {
 	// EC is the Sycamore execution context (LLM, embedder, parallelism).
 	EC *docset.Context
 	// Store is the index the plan roots read from.
 	Store *index.Store
+	// Serial disables branch concurrency: scheduled subtrees run to
+	// completion one at a time before the output pipeline executes. For
+	// benchmarking (lunabench -joins) and debugging; output is
+	// byte-identical either way.
+	Serial bool
 }
 
 // Result is one executed query: the plans, the typed answer, and the full
@@ -27,21 +42,33 @@ type Result struct {
 	Plan      *LogicalPlan // as emitted by the planner (or submitted by the user)
 	Rewritten *LogicalPlan // after rule-based optimization
 	Answer    Answer
-	Trace     *docset.Trace
+	// Trace is the merged lineage of every pipeline the query ran: the
+	// output pipeline plus each scheduled branch, each operator exactly
+	// once.
+	Trace *docset.Trace
 	// Compiled is the physical Sycamore plan rendering.
 	Compiled string
 	// Docs are the terminal documents (for drill-down).
 	Docs []*docmodel.Document
+	// Exec is the EXPLAIN ANALYZE view: per-plan-node runtime metrics
+	// aggregated from the trace (wall/busy time, docs in/out, LLM
+	// calls/tokens/cache hits, retries).
+	Exec *ExecDetail
 	// LLM reports call-middleware activity (cache hits, singleflight
 	// collapses, batches) across planning AND execution of this query;
 	// nil when the client carries no middleware stack.
 	LLM *llm.StackStats
 }
 
-// lowered is the physical form of a plan: the output DocSet pipeline plus
-// the answer-shaping facts the terminal operator needs.
+// lowered is the physical form of a plan: the output DocSet pipeline, the
+// independently-schedulable branch tasks it depends on, plus the
+// answer-shaping facts the terminal operator needs.
 type lowered struct {
 	ds *docset.DocSet
+	// tasks are the plan's independent branches (join build sides, shared
+	// diamond prefixes) in dependency order; Run starts them all when the
+	// query begins so they overlap in wall-clock time.
+	tasks []*docset.Task
 	// terminal is the last answer-shaping operator on the path to the
 	// output (pass-through operators like limit and distinct keep the
 	// upstream terminal, matching the historical linear executor).
@@ -51,12 +78,16 @@ type lowered struct {
 	keyField string
 }
 
-// lower compiles the DAG onto DocSet pipelines in topological order. Each
-// node's DocSet is built from its inputs'; join lowers onto the physical
-// docset.Join (the second input is the build side). count and fraction
-// are answer-shaping terminals: they pass their input pipeline through
-// untouched and are resolved after execution.
-func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
+// lower compiles the DAG onto DocSet pipelines in topological order under
+// the given execution context (Run passes a query-scoped context carrying
+// the worker budget; Compile passes the bare context). Each node's DocSet
+// is built from its inputs'; join lowers onto the physical docset join
+// with its build side (the second input) wrapped as a schedulable task.
+// count and fraction are answer-shaping terminals: they pass their input
+// pipeline through untouched and are resolved after execution. Every
+// node's stages are tagged with the node's ID so runtime traces aggregate
+// back to plan nodes.
+func (e *Executor) lower(ec *docset.Context, plan *LogicalPlan) (*lowered, error) {
 	plan.normalize()
 	if len(plan.Nodes) == 0 {
 		return nil, fmt.Errorf("%w: empty plan", ErrInvalidPlan)
@@ -96,6 +127,7 @@ func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
 		return ds, nil
 	}
 
+	var tasks []*docset.Task
 	for _, idx := range order {
 		n := plan.Nodes[idx]
 		// Inherit answer-shaping facts from the primary input.
@@ -108,12 +140,15 @@ func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
 			OpLLMGenerate, OpCount, OpFraction:
 			terminals[n.ID] = n.LogicalOp
 		}
+		// base is the pipeline this node extends; Tag labels the stages
+		// added beyond it with the node's ID.
+		var base *docset.DocSet
 		switch n.Op {
 		case OpQueryDatabase, OpQueryVectorDatabase:
 			if len(n.Inputs) != 0 {
 				return nil, fmt.Errorf("%w: node %s: %s is a source and takes no inputs", ErrInvalidPlan, n.ID, n.Op)
 			}
-			root, rerr := e.root(n.LogicalOp)
+			root, rerr := e.root(ec, n.LogicalOp)
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -127,13 +162,20 @@ func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
 			if rerr != nil {
 				return nil, rerr
 			}
-			sets[n.ID] = left.Join(right, n.LeftKey, n.RightKey, n.Prefix,
+			// The build side becomes its own scheduled branch: Run starts
+			// it when the query begins, so it executes concurrently with
+			// the probe side instead of after the probe has drained.
+			build := docset.NewTask("join build["+n.Inputs[1]+"]", right)
+			tasks = append(tasks, build)
+			base = left
+			sets[n.ID] = left.JoinTask(build, n.LeftKey, n.RightKey, n.Prefix,
 				docset.JoinKind(joinKindOrDefault(n.JoinKind)))
 		default:
 			in, ierr := input(n, 0)
 			if ierr != nil {
 				return nil, ierr
 			}
+			base = in
 			switch n.Op {
 			case OpBasicFilter:
 				sets[n.ID] = in.FilterProps(compileFilters(n.Filters))
@@ -171,12 +213,18 @@ func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
 				return nil, fmt.Errorf("%w: node %s: unknown operator %q", ErrInvalidPlan, n.ID, n.Op)
 			}
 		}
+		sets[n.ID] = sets[n.ID].Tag(base, n.ID)
 		if fanout[n.ID] > 1 {
-			sets[n.ID] = sets[n.ID].Shared()
+			// A diamond prefix: materialize once as a scheduled branch and
+			// replay to every consumer.
+			shared := sets[n.ID].ShareTask()
+			tasks = append(tasks, shared)
+			sets[n.ID] = shared.DocSet()
 		}
 	}
 	return &lowered{
 		ds:       sets[output],
+		tasks:    tasks,
 		terminal: terminals[output],
 		keyField: keys[output],
 	}, nil
@@ -186,27 +234,75 @@ func (e *Executor) lower(plan *LogicalPlan) (*lowered, error) {
 // rendering without executing it — the cheap "inspect what the optimizer
 // will run" path of the Plan API.
 func (e *Executor) Compile(plan *LogicalPlan) (string, error) {
-	low, err := e.lower(plan)
+	low, err := e.lower(e.EC, plan)
 	if err != nil {
 		return "", err
 	}
 	return low.ds.PlanString(), nil
 }
 
-// Run executes the plan and shapes the answer.
+// Run executes the plan and shapes the answer. Scheduled branches (join
+// build sides, shared diamond prefixes) start when execution begins and
+// run concurrently with the output pipeline under the query's worker
+// budget; with Serial set they run to completion one at a time first.
 func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) {
-	low, err := e.lower(plan)
+	// One worker budget per query: every pipeline lowered under this
+	// scope shares Parallelism busy-worker slots, so branch concurrency
+	// never multiplies the query's footprint in the server's shared pool.
+	qec := e.EC.QueryScope()
+	low, err := e.lower(qec, plan)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Rewritten: plan}
 	res.Compiled = low.ds.PlanString()
-	docs, trace, err := low.ds.Execute(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("luna: execute: %w", err)
+
+	llmBefore, hasLLMStats := llm.StatsOf(qec.LLM)
+	start := time.Now()
+	// Branch goroutines run under a child context so an executor error
+	// cancels them, and Join below guarantees none outlives the query.
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	for _, t := range low.tasks {
+		t.Start(tctx)
+		if e.Serial {
+			// Benchmark/debug mode: drain each branch before the next
+			// starts (errors surface through the consumer below).
+			t.Join()
+		}
 	}
-	res.Trace = trace
+	docs, trace, execErr := low.ds.Execute(tctx)
+	tcancel()
+	for _, t := range low.tasks {
+		t.Join()
+	}
+	wall := time.Since(start)
+
+	merged := &docset.Trace{Wall: wall}
+	for _, t := range low.tasks {
+		if tt := t.Trace(); tt != nil {
+			merged.Nodes = append(merged.Nodes, tt.Nodes...)
+		}
+	}
+	if trace != nil {
+		merged.Nodes = append(merged.Nodes, trace.Nodes...)
+	}
+	if hasLLMStats {
+		// One query-level middleware delta: per-branch deltas overlap in
+		// time when branches run concurrently, so summing them would
+		// double-count (the per-node counters in the trace attribute each
+		// call exactly once).
+		if after, ok := llm.StatsOf(qec.LLM); ok {
+			delta := after.Sub(llmBefore)
+			merged.LLM = &delta
+		}
+	}
+	if execErr != nil {
+		return nil, fmt.Errorf("luna: execute: %w", execErr)
+	}
+	res.Trace = merged
 	res.Docs = docs
+	res.Exec = buildExecDetail(plan, merged, start, wall, qec.Parallelism, len(low.tasks)+1)
 
 	groupKeyField := low.keyField
 	switch low.terminal.Op {
@@ -260,11 +356,11 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 	return res, nil
 }
 
-// root builds a source DocSet.
-func (e *Executor) root(op LogicalOp) (*docset.DocSet, error) {
+// root builds a source DocSet under the given execution context.
+func (e *Executor) root(ec *docset.Context, op LogicalOp) (*docset.DocSet, error) {
 	switch op.Op {
 	case OpQueryDatabase:
-		return docset.QueryDatabase(e.EC, e.Store, index.Query{
+		return docset.QueryDatabase(ec, e.Store, index.Query{
 			Keyword: op.Keyword,
 			Filter:  compileFilters(op.Filters),
 		}), nil
@@ -273,7 +369,7 @@ func (e *Executor) root(op LogicalOp) (*docset.DocSet, error) {
 		if k <= 0 {
 			k = 20
 		}
-		return docset.QueryVectorDatabase(e.EC, e.Store, op.Query, nil, k), nil
+		return docset.QueryVectorDatabase(ec, e.Store, op.Query, nil, k), nil
 	default:
 		return nil, fmt.Errorf("%w: plan must start with a query operator, got %q", ErrInvalidPlan, op.Op)
 	}

@@ -1,0 +1,19 @@
+// Package luna implements the paper's natural-language query service
+// (§6): a planner that turns questions into DAGs of logical operators, a
+// validator and rule-based rewriter, a compiler that lowers logical plans
+// onto Sycamore DocSet pipelines, and an executor that schedules
+// independent plan branches concurrently and reports per-node runtime
+// (EXPLAIN ANALYZE) with full lineage traces.
+//
+// Paper counterpart: Luna, the query planning/execution service of §6.
+//
+// Concurrency: Service and Executor are stateless per query and safe for
+// concurrent Ask/RunPlan calls. Each Run opens a query-scoped worker
+// budget (docset.Context.QueryScope) and starts the plan's independent
+// branches — join build sides, shared diamond prefixes — as concurrent
+// docset.Tasks under it; output remains byte-identical to serial
+// execution. Conversation serializes its turns behind an internal mutex
+// so one session's follow-ups cannot interleave. LogicalPlan values are
+// not synchronized: clone before sharing a plan across goroutines that
+// edit it.
+package luna

@@ -1,7 +1,3 @@
-// Package luna implements the paper's natural-language query service (§6):
-// a planner that turns questions into DAGs of logical operators, a
-// validator and rule-based rewriter, and a compiler/executor that lowers
-// logical plans onto Sycamore DocSet pipelines with full lineage traces.
 package luna
 
 import (

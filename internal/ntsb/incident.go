@@ -1,13 +1,3 @@
-// Package ntsb synthesizes the evaluation corpus of §7: aviation incident
-// reports in the style of the NTSB CAROL database, rendered as rawdoc
-// "PDFs", with exact ground truth retained for scoring.
-//
-// The generator deliberately reproduces the dataset properties the paper's
-// failure analysis depends on: a few accidents involve two aircraft and
-// yield two reports sharing an accident number (the §7.2 double-counting
-// trap); most narratives mention the engine even when the engine was not
-// causal (the llmFilter generosity trap); and every report embeds the
-// NTSB liability disclaimer (the RAG context-poisoning trap).
 package ntsb
 
 import (

@@ -1,0 +1,11 @@
+// Package qa implements the §7 evaluation: the 30-question NTSB
+// analytics benchmark, ground-truth computation at accident granularity,
+// mechanical graders for every answer shape, and the harness that
+// regenerates Table 4 (Luna vs. RAG) with the paper's error taxonomy.
+//
+// Paper counterpart: the evaluation of §7.2 (Table 4).
+//
+// Concurrency: the harness drives the system one question at a time (the
+// benchmark measures answer quality, not throughput); helpers are pure
+// functions and may be called from any goroutine.
+package qa

@@ -1,7 +1,3 @@
-// Package qa implements the §7 evaluation: the 30-question NTSB analytics
-// benchmark, ground-truth computation at accident granularity, mechanical
-// graders for every answer shape, and the harness that regenerates
-// Table 4 (Luna vs. RAG) with the paper's error taxonomy.
 package qa
 
 import (

@@ -1,0 +1,12 @@
+// Package rag implements the conventional retrieval-augmented-generation
+// baseline of §7.2: embed the question, retrieve the k nearest chunks,
+// stuff them into the LLM's context, and ask for an answer. Its failure
+// modes — context-window truncation, lost-in-the-middle attention, and
+// boilerplate poisoning — are what Table 4 measures Luna against.
+//
+// Paper counterpart: the RAG baseline of §7.2.
+//
+// Concurrency: a Pipeline is read-only after configuration and safe for
+// concurrent Answer calls; it shares the store's snapshot reads and the
+// LLM client chain, both of which are synchronized.
+package rag

@@ -1,8 +1,3 @@
-// Package rag implements the conventional retrieval-augmented-generation
-// baseline of §7.2: embed the question, retrieve the k nearest chunks,
-// stuff them into the LLM's context, and ask for an answer. Its failure
-// modes — context-window truncation, lost-in-the-middle attention, and
-// boilerplate poisoning — are what Table 4 measures Luna against.
 package rag
 
 import (

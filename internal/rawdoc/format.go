@@ -1,14 +1,3 @@
-// Package rawdoc defines the synthetic raw-document format this
-// reproduction uses in place of PDF/DOCX inputs. A rawdoc carries what a
-// rendered page carries: positioned text runs with font metrics, rule lines
-// (table borders), and image blobs. Crucially it also carries ground-truth
-// layout regions — the labels a human DocLayNet annotator would draw — which
-// are used only for evaluation, never shown to the segmentation models.
-//
-// The substitution preserves the paper's pipeline shape: DocParse (§4)
-// renders documents to images precisely so it can work from page geometry
-// (position, size, font) rather than file-format internals; rawdoc hands the
-// vision stage that same geometric signal directly.
 package rawdoc
 
 import (

@@ -1,0 +1,38 @@
+// Package server is the concurrent query-serving layer: it exposes a
+// wired core.System over HTTP so many analysts hit one Aryn instance at
+// once — the service shape of the paper (§3, Figure 1), where DocParse
+// and Luna run behind network endpoints rather than a library call.
+//
+// Endpoints:
+//
+//	POST /ingest   load documents (raw blobs or a generated NTSB corpus)
+//	POST /plan     plan a question (or dry-run an edited plan) without
+//	               executing; {"analyze": true} executes and returns the
+//	               plan annotated with per-node runtime (EXPLAIN ANALYZE)
+//	POST /query    one-shot Luna question or a user-edited plan (or ?rag)
+//	POST /chat     stateful conversational session with follow-ups
+//	GET  /stats    LLM middleware counters, index size, serving stats
+//	GET  /healthz  liveness + readiness (never gated by admission)
+//
+// Plans are first-class citizens (§6.2 inspect→edit→re-run): POST /plan
+// returns the validated DAG plan JSON plus the optimizer's rewrite and
+// the compiled physical pipeline; the client may edit the JSON and
+// submit it back through POST /query {"plan": ...} for execution.
+// Executed queries report per-node runtime metrics under "executed".
+// Invalid plans come back as 400 with every node-level problem listed in
+// a structured {"errors": [...]} array. See docs/plan-api.md for the
+// full lifecycle with curl examples.
+//
+// Paper counterpart: the deployed Aryn service of §3 (Figure 1).
+//
+// Concurrency: every work request passes a bounded admission gate
+// (MaxInFlight executing, MaxWaiters queued, beyond that 429 +
+// Retry-After); chat sessions are isolated conversations whose turns
+// serialize internally; ingest is exclusive per run and never blocks
+// queries — but it indexes into the shared store incrementally, so a
+// query racing an ingest may observe a partially loaded corpus (what is
+// swapped atomically at the end is the schema + query service, not the
+// document set). Each admitted query additionally runs under its own
+// Luna worker budget, so a plan with many concurrent branches draws the
+// same per-query worker footprint as a chain.
+package server

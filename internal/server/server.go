@@ -1,32 +1,3 @@
-// Package server is the concurrent query-serving layer: it exposes a
-// wired core.System over HTTP so many analysts hit one Aryn instance at
-// once — the service shape of the paper (§3, Figure 1), where DocParse
-// and Luna run behind network endpoints rather than a library call.
-//
-// Endpoints:
-//
-//	POST /ingest   load documents (raw blobs or a generated NTSB corpus)
-//	POST /plan     plan a question (or dry-run an edited plan) without executing
-//	POST /query    one-shot Luna question or a user-edited plan (or ?rag)
-//	POST /chat     stateful conversational session with follow-ups
-//	GET  /stats    LLM middleware counters, index size, serving stats
-//	GET  /healthz  liveness + readiness (never gated by admission)
-//
-// Plans are first-class citizens (§6.2 inspect→edit→re-run): POST /plan
-// returns the validated DAG plan JSON plus the optimizer's rewrite and
-// the compiled physical pipeline; the client may edit the JSON and
-// submit it back through POST /query {"plan": ...} for execution.
-// Invalid plans come back as 400 with every node-level problem listed in
-// a structured {"errors": [...]} array.
-//
-// Concurrency model: every work request passes a bounded admission gate
-// (MaxInFlight executing, MaxWaiters queued, beyond that 429 +
-// Retry-After); chat sessions are isolated conversations whose turns
-// serialize internally; ingest is exclusive per run and never blocks
-// queries — but it indexes into the shared store incrementally, so a
-// query racing an ingest may observe a partially loaded corpus (what is
-// swapped atomically at the end is the schema + query service, not the
-// document set).
 package server
 
 import (
@@ -221,13 +192,19 @@ type QueryRequest struct {
 }
 
 // PlanDetail carries every stage of a query's plan: what the planner
-// emitted (or the user submitted), what the optimizer made of it, and the
-// physical pipeline it lowers to — so users can see what the optimizer
-// did before editing.
+// emitted (or the user submitted), what the optimizer made of it, the
+// physical pipeline it lowers to — and, when the query executed, the
+// EXPLAIN ANALYZE view: the plan annotated with per-node runtime metrics
+// (wall/busy time, docs in/out, LLM calls/tokens/cache hits, retries).
 type PlanDetail struct {
 	Original  json.RawMessage `json:"original,omitempty"`
 	Rewritten json.RawMessage `json:"rewritten,omitempty"`
 	Compiled  string          `json:"compiled,omitempty"`
+	// Executed is the rewritten plan with a "runtime" object per node and
+	// an "exec" query-level summary (wall_ms, worker budget, scheduled
+	// branches). Present on executed queries (POST /query with
+	// include_plan, POST /plan with analyze).
+	Executed json.RawMessage `json:"executed,omitempty"`
 }
 
 // QueryResponse is the answer to a one-shot question.
@@ -243,12 +220,16 @@ type QueryResponse struct {
 }
 
 // PlanRequest plans a question — or dry-runs an edited plan — without
-// executing anything.
+// executing anything, unless Analyze asks for EXPLAIN ANALYZE.
 type PlanRequest struct {
 	Question string `json:"question,omitempty"`
 	// Plan, when set, is validated, rewritten, and compiled instead of
 	// calling the planner (a dry run for hand-edited plans).
 	Plan json.RawMessage `json:"plan,omitempty"`
+	// Analyze executes the plan (or planned question) and returns the
+	// executed plan annotated with per-node runtime metrics — EXPLAIN
+	// ANALYZE: full runtime feedback without the answer payload.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // PlanResponse is the inspectable half of the inspect→edit→re-run loop.
@@ -402,10 +383,14 @@ func (s *Server) ingestBlobs(req IngestRequest) (map[string][]byte, error) {
 	return corpus.Blobs()
 }
 
-// handlePlan serves POST /plan: the cheap, execution-free half of the
-// plan API. With a question it runs the planner + validator + rewriter;
-// with a plan it dry-runs a user edit. Either way the response carries
-// the plan JSON the client can edit and POST back to /query.
+// handlePlan serves POST /plan: the execution-free half of the plan API,
+// plus EXPLAIN ANALYZE. With a question it runs the planner + validator +
+// rewriter; with a plan it dry-runs a user edit. Either way the response
+// carries the plan JSON the client can edit and POST back to /query.
+// With {"analyze": true} the plan (or planned question) additionally
+// executes, and the response's plan detail carries "executed" — the plan
+// annotated with per-node runtime metrics — while the answer payload is
+// withheld (the runtime feedback loop without the result).
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
 	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
@@ -423,6 +408,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	svc := s.sys.QueryService()
+
+	if req.Analyze {
+		s.handleAnalyze(w, r, ctx, svc, req, start)
+		return
+	}
 
 	var preview *luna.PlanPreview
 	if len(req.Plan) > 0 {
@@ -450,6 +440,50 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Plan:     planDetail(preview.Plan, preview.Rewritten, preview.Compiled),
 		WallMS:   time.Since(start).Milliseconds(),
 	})
+}
+
+// handleAnalyze serves POST /plan {"analyze": true}: EXPLAIN ANALYZE. The
+// plan executes for real (semantic operators run, LLM calls are spent) —
+// what comes back is the annotated plan, not the answer.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, ctx context.Context, svc *luna.Service, req PlanRequest, start time.Time) {
+	var res *luna.Result
+	var err error
+	if len(req.Plan) > 0 {
+		var plan *luna.LogicalPlan
+		plan, err = decodePlan(req.Plan)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		question := req.Question
+		if question == "" {
+			question = "(explain analyze)"
+		}
+		res, err = svc.RunPlan(ctx, question, plan)
+	} else {
+		res, err = svc.Ask(ctx, req.Question)
+	}
+	if err != nil {
+		s.writeError(w, r, statusOf(err), err)
+		return
+	}
+	detail := planDetail(res.Plan, res.Rewritten, res.Compiled)
+	detail.Executed = executedPlan(res)
+	s.writeJSON(w, http.StatusOK, PlanResponse{
+		TraceID:  traceFrom(r.Context()),
+		Question: req.Question,
+		Plan:     detail,
+		WallMS:   time.Since(start).Milliseconds(),
+	})
+}
+
+// executedPlan renders a result's EXPLAIN ANALYZE annotation (nil when
+// the result carries no runtime detail).
+func executedPlan(res *luna.Result) json.RawMessage {
+	if res.Exec == nil || res.Rewritten == nil {
+		return nil
+	}
+	return json.RawMessage(res.Rewritten.AnnotatedJSON(res.Exec))
 }
 
 // decodePlan parses a submitted plan body (DAG or legacy linear form).
@@ -518,6 +552,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.IncludePlan {
 			d := planDetail(res.Plan, res.Rewritten, res.Compiled)
+			d.Executed = executedPlan(res)
 			out.Plan = &d
 		}
 		s.writeJSON(w, http.StatusOK, out)
@@ -561,6 +596,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.IncludePlan {
 		d := planDetail(res.Plan, res.Rewritten, res.Compiled)
+		d.Executed = executedPlan(res)
 		out.Plan = &d
 	}
 	s.writeJSON(w, http.StatusOK, out)

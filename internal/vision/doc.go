@@ -1,0 +1,19 @@
+// Package vision provides the simulated vision models DocParse composes
+// (§4): page segmentation into the 11 DocLayNet classes, table-structure
+// recovery, OCR, and image summarization.
+//
+// The segmenter is a real model over page geometry: it proposes regions
+// by clustering text runs (paragraph-gap heuristics plus rule-grid table
+// detection) and classifies them from typographic features — the same
+// signal a Deformable-DETR extracts from rendered pixels. Service quality
+// differences are a calibrated noise model (localization jitter, missed
+// detections, label confusion, merge/split errors, false positives)
+// seeded per page, reproducing the quality spread Table 1 measures
+// between DocParse, Textract, Unstructured, and Azure.
+//
+// Paper counterpart: the Aryn Partitioner's vision stack (§4, Table 1).
+//
+// Concurrency: models are read-only after construction; all noise is
+// seeded per page, so concurrent page segmentation is safe and
+// deterministic.
+package vision

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Documentation gates, run by `make docs-check` and the CI docs job:
+#
+#   1. every internal/ package carries a doc.go whose package comment
+#      documents the package (role / paper counterpart / concurrency
+#      contract live there, per ARCHITECTURE.md);
+#   2. every relative markdown link in *.md and docs/ resolves to a file
+#      or directory that exists (external http(s) links are not fetched —
+#      the gate is hermetic).
+#
+# Fails with a list of every problem found, not just the first.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. per-package doc.go coverage ----
+for dir in internal/*/; do
+  pkg=$(basename "$dir")
+  doc="$dir/doc.go"
+  if [ ! -f "$doc" ]; then
+    echo "docscheck: $dir has no doc.go" >&2
+    fail=1
+    continue
+  fi
+  if ! grep -q "^// Package $pkg " "$doc"; then
+    echo "docscheck: $doc lacks a '// Package $pkg ...' comment" >&2
+    fail=1
+  fi
+done
+
+# ---- 2. markdown relative-link check ----
+# Collect tracked-looking markdown: top level and docs/.
+mdfiles=$(find . -maxdepth 1 -name '*.md'; find docs -name '*.md' 2>/dev/null)
+
+for md in $mdfiles; do
+  dir=$(dirname "$md")
+  # Extract (target) parts of [text](target) links, one per line.
+  links=$(grep -o '\[[^][]*\]([^()[:space:]]*)' "$md" | sed 's/.*(\(.*\))/\1/') || continue
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "docscheck: $md links to missing file: $link" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docscheck: FAILED" >&2
+  exit 1
+fi
+echo "docscheck: OK"

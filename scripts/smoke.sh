@@ -82,6 +82,20 @@ REPLAY=$(curl -fsS -X POST "$BASE/query" -d "{\"plan\":$EDITED}")
 echo "$REPLAY" | grep -q '"answer": "16"' || {
   echo "smoke: edited join plan should count 16: $REPLAY" >&2; exit 1; }
 
+echo "smoke: explain analyze..."
+ANALYZE=$(curl -fsS -X POST "$BASE/plan" -d "{\"plan\":$EDITED,\"analyze\":true}")
+echo "$ANALYZE" | grep -q '"executed"' || {
+  echo "smoke: analyze should return the executed plan: $ANALYZE" >&2; exit 1; }
+echo "$ANALYZE" | grep -q '"runtime"' || {
+  echo "smoke: executed plan should carry per-node runtime: $ANALYZE" >&2; exit 1; }
+echo "$ANALYZE" | grep -q '"answer"' && {
+  echo "smoke: analyze must not return an answer payload: $ANALYZE" >&2; exit 1; }
+
+echo "smoke: include_plan returns executed runtime..."
+ANALYZED_QUERY=$(curl -fsS -X POST "$BASE/query" -d '{"question":"How many incidents were there?","include_plan":true}')
+echo "$ANALYZED_QUERY" | grep -q '"executed"' || {
+  echo "smoke: include_plan should carry the executed plan: $ANALYZED_QUERY" >&2; exit 1; }
+
 echo "smoke: invalid plan returns 400 with structured errors..."
 BADPLAN='{"plan":{"nodes":[{"id":"n1","op":"queryDatabase","filters":[{"field":"hallucinated","kind":"fuzzy","value":1}]},{"id":"n2","op":"llmFilter","inputs":["n1"]},{"id":"n3","op":"count","inputs":["n2"]}],"output":"n3"}}'
 BADSTATUS=$(curl -sS -o /tmp/smoke_bad_plan.$$ -w '%{http_code}' -X POST "$BASE/query" -d "$BADPLAN")
