@@ -7,7 +7,7 @@ GO ?= go
 # Pinned staticcheck release; CI installs exactly this and caches it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint staticcheck print-staticcheck-version smoke bench bench-retrieval docs-check ci
+.PHONY: build test lint staticcheck print-staticcheck-version smoke bench bench-retrieval bench-serving docs-check ci
 
 build:
 	$(GO) build ./...
@@ -64,5 +64,12 @@ bench-retrieval:
 	$(GO) test -run=NONE -bench 'BenchmarkRetrieval' -benchmem -benchtime=1s . > $$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_retrieval.json -label after < $$tmp; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# Serving-load trajectory: boot arynd, drive the standard scenario mixes
+# with arynload, and refresh the "after" section of BENCH_serving.json.
+# Knobs (BENCH_SERVING_QPS, _DURATION, _MIXES, ...) are env vars — see
+# scripts/bench_serving.sh; CI runs a short burst and uploads the JSON.
+bench-serving:
+	./scripts/bench_serving.sh
 
 ci: build lint staticcheck test bench

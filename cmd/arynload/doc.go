@@ -1,0 +1,21 @@
+// Command arynload is the serving-load benchmark harness: it drives the
+// e2e scenario mixes (internal/scenario) against a live arynd at a target
+// rate and reports per-request latency percentiles, error/shed rates, and
+// the server-side LLM cache hit-rate as BENCH_serving.json — the serving
+// counterpart of BENCH_retrieval.json, with the same label/section file
+// shape (before/after trajectories merge into one file).
+//
+// Usage:
+//
+//	arynd -addr :8088 -docs 48 &                  # something to load
+//	arynload -addr http://127.0.0.1:8088          # all standard mixes
+//	arynload -list                                # scenario catalog
+//	arynload -mixes read-heavy -qps 50 -duration 30s \
+//	         -out BENCH_serving.json -label after # one mix, recorded
+//
+// Each mix carries the SLO its numbers are checked against
+// (docs/serving-slos.md); -slo (on by default) exits non-zero on any
+// violation, which is how CI enforces the serving contract. `make
+// bench-serving` wraps the whole boot→load→record cycle via
+// scripts/bench_serving.sh.
+package main

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aryn/internal/scenario"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8088", "base URL of the arynd under load")
+		list     = flag.Bool("list", false, "list registered scenarios (name, paper section, description) and exit")
+		mixNames = flag.String("mixes", "all", "comma-separated mix names to run (see docs/serving-slos.md), or 'all'")
+		qps      = flag.Float64("qps", 25, "target scenario-execution launch rate per mix")
+		duration = flag.Duration("duration", 8*time.Second, "load duration per mix")
+		execs    = flag.Int("executions", 0, "stop a mix after this many executions (0 = duration only)")
+		workers  = flag.Int("workers", 16, "max concurrently running scenario executions")
+		seed     = flag.Int64("seed", 1, "weighted scenario picker seed")
+		out      = flag.String("out", "", "write/merge the report into this BENCH_serving.json (empty = stdout only)")
+		label    = flag.String("label", "after", "results label to record under (before/after trajectory)")
+		slo      = flag.Bool("slo", true, "check each mix's report against its SLO and exit non-zero on violations")
+		docs     = flag.Int("ingest-docs", 8, "synthetic docs per ingest-scenario corpus")
+		turns    = flag.Int("chat-turns", 3, "follow-up turns per chat-session execution")
+		burst    = flag.Int("burst", 12, "concurrent requests per overload-shed execution")
+	)
+	flag.Parse()
+
+	if *list {
+		listScenarios()
+		return
+	}
+	if err := run(*addr, *mixNames, *qps, *duration, *execs, *workers, *seed, *out, *label, *slo,
+		scenario.Params{IngestDocs: *docs, ChatTurns: *turns, BurstSize: *burst}); err != nil {
+		fmt.Fprintln(os.Stderr, "arynload:", err)
+		os.Exit(1)
+	}
+}
+
+// listScenarios prints the self-describing scenario catalog.
+func listScenarios() {
+	fmt.Printf("%-22s %-45s %s\n", "SCENARIO", "PAPER", "DESCRIPTION")
+	for _, s := range scenario.All() {
+		fmt.Printf("%-22s %-45s %s\n", s.Name, s.Paper, s.Description)
+	}
+	fmt.Println("\nMIXES (weights → SLO):")
+	for _, m := range scenario.Mixes() {
+		fmt.Printf("  %-16s %s\n", m.Name, m.Description)
+		fmt.Printf("  %-16s weights %v, SLO p99 ≤ %s, shed ≤ %.0f%%, errors ≤ %.1f%%\n",
+			"", m.Weights, m.SLO.P99, m.SLO.MaxShedRate*100, m.SLO.MaxErrorRate*100)
+	}
+}
+
+func run(addr, mixNames string, qps float64, duration time.Duration, execs, workers int, seed int64, out, label string, slo bool, params scenario.Params) error {
+	mixes, err := resolveMixes(mixNames)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := scenario.NewClient(addr, scenario.WithParams(params))
+	if err := client.WaitReady(ctx, 15*time.Second); err != nil {
+		return err
+	}
+
+	reports := map[string]*scenario.Report{}
+	var violations []string
+	for i, mix := range mixes {
+		fmt.Fprintf(os.Stderr, "arynload: mix %s (%d/%d): qps %.0f for %s...\n",
+			mix.Name, i+1, len(mixes), qps, duration)
+		report, err := scenario.RunLoad(ctx, client, mix, scenario.LoadOptions{
+			QPS:           qps,
+			Duration:      duration,
+			MaxExecutions: execs,
+			Workers:       workers,
+			Seed:          seed,
+		})
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", mix.Name, err)
+		}
+		reports[mix.Name] = report
+		printReport(report)
+		for _, v := range mix.SLO.Check(report) {
+			violations = append(violations, fmt.Sprintf("mix %s: %s", mix.Name, v))
+		}
+	}
+
+	if out != "" {
+		if err := writeBenchFile(out, label, reports); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "arynload: wrote %d mix reports to %s under %q\n", len(reports), out, label)
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "arynload: SLO VIOLATION:", v)
+		}
+		if slo {
+			return fmt.Errorf("%d SLO violation(s) — targets are documented in docs/serving-slos.md", len(violations))
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "arynload: all mixes within SLO")
+	}
+	return nil
+}
+
+// resolveMixes parses the -mixes flag against the standard mix set.
+func resolveMixes(names string) ([]scenario.Mix, error) {
+	if names == "" || names == "all" {
+		return scenario.Mixes(), nil
+	}
+	var out []scenario.Mix
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := scenario.MixByName(name)
+		if !ok {
+			known := make([]string, 0)
+			for _, k := range scenario.Mixes() {
+				known = append(known, k.Name)
+			}
+			return nil, fmt.Errorf("unknown mix %q (have: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no mixes selected")
+	}
+	return out, nil
+}
+
+// printReport renders one mix's numbers for humans (stderr keeps stdout
+// clean for -list and JSON piping).
+func printReport(r *scenario.Report) {
+	fmt.Fprintf(os.Stderr,
+		"arynload:   %d executions (%d shed, %d failed, %d skipped ticks), %d requests in %.1fs (%.1f req/s)\n",
+		r.Executions, r.ShedExecs, r.FailedExecs, r.Skipped, r.Requests, r.DurationMS/1000, r.AchievedQPS)
+	fmt.Fprintf(os.Stderr,
+		"arynload:   latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms | shed %.2f%% errors %.2f%% | cache hit-rate %.1f%% (%d/%d)\n",
+		r.P50MS, r.P95MS, r.P99MS, r.MaxMS,
+		r.ShedRate*100, r.ErrorRate*100,
+		r.CacheHitRate*100, r.CacheHits, r.CacheHits+r.CacheMisses)
+}
+
+// benchFile mirrors the BENCH_retrieval.json layout: results keyed by
+// label then by name, so before/after trajectories live side by side and
+// a refresh preserves other labels.
+type benchFile struct {
+	Description string                                 `json:"description,omitempty"`
+	Results     map[string]map[string]*scenario.Report `json:"results"`
+}
+
+func writeBenchFile(path, label string, reports map[string]*scenario.Report) error {
+	file := benchFile{
+		Description: "Serving-load benchmark (cmd/arynload over internal/scenario mixes against a live arynd). " +
+			"Per-mix request latency percentiles, shed/error rates, and server-side LLM cache hit-rate; " +
+			"SLO targets live in docs/serving-slos.md, methodology in docs/benchmarks.md. " +
+			"Refresh with `make bench-serving`.",
+		Results: map[string]map[string]*scenario.Report{},
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON: %w", path, err)
+		}
+	}
+	if file.Results == nil {
+		file.Results = map[string]map[string]*scenario.Report{}
+	}
+	file.Results[label] = reports
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"aryn/internal/server"
+)
+
+// Observation is one recorded HTTP request issued by a scenario.
+type Observation struct {
+	Scenario string
+	Endpoint string
+	Status   int
+	Latency  time.Duration
+	// Shed marks a 429 — the server refusing work by contract, tracked
+	// separately from failures.
+	Shed bool
+	// Failed marks a transport error or a status the scenario did not
+	// accept.
+	Failed bool
+}
+
+// Recorder receives every Observation a Client makes. Implementations
+// must be safe for concurrent Observe calls.
+type Recorder interface {
+	Observe(Observation)
+}
+
+// ErrShed is returned by Client calls when the server sheds the request
+// with 429. Scenarios abort the rest of their execution on it; the load
+// runner counts the execution as shed, not failed.
+var ErrShed = errors.New("scenario: request shed (429)")
+
+// Params tunes how heavy one scenario execution is. Zero values pick
+// defaults suited to a live benchmark run; tests shrink them.
+type Params struct {
+	// IngestDocs is the synthetic-corpus size ingest-flavored scenarios
+	// load per corpus (default 8).
+	IngestDocs int
+	// ChatTurns is how many follow-up turns a conversational execution
+	// plays (default 3).
+	ChatTurns int
+	// BurstSize is how many concurrent requests the overload scenario
+	// fires per execution (default 8).
+	BurstSize int
+	// TTLWait, when positive, makes the chat-expiry scenario wait this
+	// long for a real TTL eviction (only sensible against a server with a
+	// short SessionTTL; load runs leave it zero and check the
+	// unknown-session contract instead).
+	TTLWait time.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.IngestDocs <= 0 {
+		p.IngestDocs = 8
+	}
+	if p.ChatTurns <= 0 {
+		p.ChatTurns = 3
+	}
+	if p.BurstSize <= 0 {
+		p.BurstSize = 8
+	}
+	return p
+}
+
+// Client drives one arynd over HTTP, recording every request it makes.
+// The zero Recorder discards; the load runner installs a collecting one.
+type Client struct {
+	base     string
+	hc       *http.Client
+	rec      Recorder
+	scenario string
+	Params   Params
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRecorder installs r as the observation sink.
+func WithRecorder(r Recorder) ClientOption { return func(c *Client) { c.rec = r } }
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports).
+func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithParams sets the scenario sizing knobs.
+func WithParams(p Params) ClientOption { return func(c *Client) { c.Params = p } }
+
+// NewClient returns a client for the arynd at base (e.g.
+// "http://127.0.0.1:8088").
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 2 * time.Minute},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.Params = c.Params.withDefaults()
+	return c
+}
+
+// forScenario returns a shallow copy that labels observations with name.
+func (c *Client) forScenario(name string) *Client {
+	cc := *c
+	cc.scenario = name
+	return &cc
+}
+
+// withRecorder returns a shallow copy observing into r.
+func (c *Client) withRecorder(r Recorder) *Client {
+	cc := *c
+	cc.rec = r
+	return &cc
+}
+
+// WaitReady polls /healthz until the server answers or timeout elapses.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		reqCtx, cancel := context.WithTimeout(ctx, time.Second)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, c.base+"/healthz", nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		cancel()
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario: server at %s not healthy after %s", c.base, timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Stats fetches the /stats snapshot (typed against the server package, so
+// the harness breaks at compile time if the wire shape drifts).
+func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	var out server.StatsResponse
+	if _, err := c.do(ctx, http.MethodGet, "/stats", nil, &out, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz fetches the /healthz snapshot as a generic map.
+func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PostJSON posts body to path and decodes a 2xx response into out (out
+// may be nil). Statuses listed in accept (default: 200 only) satisfy the
+// call; a 429 anywhere returns ErrShed; anything else is a failure. The
+// status actually received is returned either way.
+func (c *Client) PostJSON(ctx context.Context, path string, body, out any, accept ...int) (int, error) {
+	return c.do(ctx, http.MethodPost, path, body, out, accept...)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any, accept ...int) (int, error) {
+	if len(accept) == 0 {
+		accept = []int{http.StatusOK}
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: encode %s body: %w", path, err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	latency := time.Since(start)
+	if err != nil {
+		c.observe(Observation{Scenario: c.scenario, Endpoint: path, Latency: latency, Failed: true})
+		return 0, fmt.Errorf("scenario: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+
+	status := resp.StatusCode
+	if status == http.StatusTooManyRequests {
+		// A shed must carry Retry-After — that is the documented contract;
+		// without it the 429 is a server bug, not graceful degradation.
+		if resp.Header.Get("Retry-After") == "" {
+			c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: status, Latency: latency, Failed: true})
+			return status, fmt.Errorf("scenario: %s shed without Retry-After", path)
+		}
+		c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: status, Latency: latency, Shed: true})
+		return status, ErrShed
+	}
+
+	ok := false
+	for _, a := range accept {
+		if status == a {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: status, Latency: latency, Failed: true})
+		return status, fmt.Errorf("scenario: %s %s: unexpected status %d: %s", method, path, status, snippet)
+	}
+	if out != nil && status < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: status, Latency: latency, Failed: true})
+			return status, fmt.Errorf("scenario: decode %s response: %w", path, err)
+		}
+	}
+	c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: status, Latency: latency})
+	return status, nil
+}
+
+func (c *Client) observe(o Observation) {
+	if c.rec != nil {
+		c.rec.Observe(o)
+	}
+}

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"aryn/internal/core"
+	"aryn/internal/server"
+)
+
+// sharedSys is one system per test binary, ingested lazily by the
+// scenarios' own Setup stages (ensureCorpus); tests layer their own
+// server configs over it.
+var (
+	sharedOnce sync.Once
+	sharedSys  *core.System
+)
+
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSys = core.New(core.Config{Seed: 7, Parallelism: 4})
+	})
+	return sharedSys
+}
+
+// newHarness stands up an in-process arynd (httptest) and a recording
+// client sized for -short runs.
+func newHarness(t *testing.T, cfg server.Config, params Params) (*Client, *recorder) {
+	t.Helper()
+	srv := server.New(testSystem(t), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	rec := &recorder{}
+	c := NewClient(ts.URL, WithRecorder(rec), WithParams(params))
+	return c, rec
+}
+
+// shortParams keeps scenario executions light for the in-process suite.
+func shortParams() Params {
+	return Params{IngestDocs: 3, ChatTurns: 2, BurstSize: 4}
+}
+
+// TestEveryRegisteredScenario runs every scenario in the registry through
+// a full Setup→Execute→Verify pass against an in-process server — the
+// suite-level guarantee behind "every registered scenario runs green in
+// CI".
+func TestEveryRegisteredScenario(t *testing.T) {
+	all := All()
+	if len(all) < 6 {
+		t.Fatalf("registry has %d scenarios, expected the full built-in set", len(all))
+	}
+	c, rec := newHarness(t, server.Config{}, shortParams())
+	ctx := context.Background()
+	for _, s := range all {
+		t.Run(s.Name, func(t *testing.T) {
+			if err := Run(ctx, s, c); err != nil {
+				t.Fatalf("scenario %s failed: %v", s.Name, err)
+			}
+		})
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.obs) == 0 {
+		t.Fatal("no observations recorded across the suite")
+	}
+	for _, o := range rec.obs {
+		if o.Scenario == "" || o.Endpoint == "" {
+			t.Fatalf("observation missing scenario/endpoint labels: %+v", o)
+		}
+	}
+}
+
+// TestScenariosAreSelfDescribing pins the docs contract: every scenario
+// carries the name, description, and paper section that `arynload -list`
+// surfaces.
+func TestScenariosAreSelfDescribing(t *testing.T) {
+	for _, s := range All() {
+		if s.Name == "" || s.Description == "" || s.Paper == "" {
+			t.Errorf("scenario %+v is not self-describing (need Name, Description, Paper)", s)
+		}
+		if s.Execute == nil {
+			t.Errorf("scenario %s has no Execute stage", s.Name)
+		}
+	}
+	for _, want := range []string{
+		"ingest-multi-corpus", "plan-edit-roundtrip", "explain-analyze",
+		"chat-session", "chat-expiry", "overload-shed", "query-oneshot",
+	} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("built-in scenario %q missing from the registry", want)
+		}
+	}
+}
+
+// TestChatExpiryRealTTL proves the expiry scenario detects a real TTL
+// eviction against a short-TTL server.
+func TestChatExpiryRealTTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TTL wait is wall-clock bound")
+	}
+	params := shortParams()
+	params.TTLWait = 400 * time.Millisecond
+	c, _ := newHarness(t, server.Config{SessionTTL: 150 * time.Millisecond}, params)
+	s, ok := Get("chat-expiry")
+	if !ok {
+		t.Fatal("chat-expiry not registered")
+	}
+	if err := Run(context.Background(), s, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadShedAgainstTinyGate drives the overload scenario at a
+// 1-slot gate and checks sheds really happen and are recorded as sheds,
+// not failures.
+func TestOverloadShedAgainstTinyGate(t *testing.T) {
+	params := shortParams()
+	params.BurstSize = 8
+	c, rec := newHarness(t, server.Config{
+		MaxInFlight: 1,
+		MaxWaiters:  1,
+		QueueWait:   20 * time.Millisecond,
+	}, params)
+	s, _ := Get("overload-shed")
+	if err := Run(context.Background(), s, c); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	shed := 0
+	for _, o := range rec.obs {
+		if o.Failed {
+			t.Errorf("overload against a tiny gate must shed, not fail: %+v", o)
+		}
+		if o.Shed {
+			shed++
+			if o.Status != http.StatusTooManyRequests {
+				t.Errorf("shed observation with status %d", o.Status)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Error("an 8-burst against 1 slot + 1 waiter should record sheds")
+	}
+}

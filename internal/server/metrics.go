@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// endpointCounters accumulates per-route serving metrics. All fields are
+// atomics: handlers bump them on the hot path without a lock, /stats
+// reads are point-in-time snapshots.
+type endpointCounters struct {
+	requests     atomic.Int64
+	ok           atomic.Int64 // 2xx/3xx
+	clientErrors atomic.Int64 // 4xx except 429
+	serverErrors atomic.Int64 // 5xx
+	shed         atomic.Int64 // 429
+	totalMS      atomic.Int64
+	maxMS        atomic.Int64
+}
+
+func (e *endpointCounters) record(status int, elapsed time.Duration) {
+	e.requests.Add(1)
+	switch {
+	case status == http.StatusTooManyRequests:
+		e.shed.Add(1)
+	case status >= 500:
+		e.serverErrors.Add(1)
+	case status >= 400:
+		e.clientErrors.Add(1)
+	default:
+		e.ok.Add(1)
+	}
+	ms := elapsed.Milliseconds()
+	e.totalMS.Add(ms)
+	for {
+		cur := e.maxMS.Load()
+		if ms <= cur || e.maxMS.CompareAndSwap(cur, ms) {
+			break
+		}
+	}
+}
+
+// EndpointStats is one route's /stats snapshot — the counters the
+// arynload benchmark harness reads (docs/operations.md documents each
+// field).
+type EndpointStats struct {
+	Requests     int64   `json:"requests"`
+	OK           int64   `json:"ok"`
+	ClientErrors int64   `json:"client_errors"`
+	ServerErrors int64   `json:"server_errors"`
+	Shed         int64   `json:"shed"`
+	TotalMS      int64   `json:"total_ms"`
+	MeanMS       float64 `json:"mean_ms"`
+	MaxMS        int64   `json:"max_ms"`
+}
+
+func (e *endpointCounters) snapshot() EndpointStats {
+	s := EndpointStats{
+		Requests:     e.requests.Load(),
+		OK:           e.ok.Load(),
+		ClientErrors: e.clientErrors.Load(),
+		ServerErrors: e.serverErrors.Load(),
+		Shed:         e.shed.Load(),
+		TotalMS:      e.totalMS.Load(),
+		MaxMS:        e.maxMS.Load(),
+	}
+	if s.Requests > 0 {
+		s.MeanMS = float64(s.TotalMS) / float64(s.Requests)
+	}
+	return s
+}
+
+// statusWriter captures the status a handler writes (200 when the handler
+// never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// counted wraps h with the per-endpoint metrics for route.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.endpoints[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		ep.record(sw.status, time.Since(start))
+	}
+}

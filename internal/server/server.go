@@ -82,12 +82,13 @@ func (c Config) withDefaults() Config {
 
 // Server serves one core.System to concurrent clients.
 type Server struct {
-	sys      *core.System
-	cfg      Config
-	gate     *gate
-	sessions *sessionTable
-	mux      *http.ServeMux
-	start    time.Time
+	sys       *core.System
+	cfg       Config
+	gate      *gate
+	sessions  *sessionTable
+	mux       *http.ServeMux
+	start     time.Time
+	endpoints map[string]*endpointCounters
 
 	// ingestMu makes ingest runs exclusive: a second concurrent /ingest
 	// gets 409 instead of racing the pipeline.
@@ -101,19 +102,23 @@ type Server struct {
 func New(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		sys:      sys,
-		cfg:      cfg,
-		gate:     newGate(cfg.MaxInFlight, cfg.MaxWaiters, cfg.QueueWait),
-		sessions: newSessionTable(cfg.SessionTTL, cfg.MaxSessions),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
+		sys:       sys,
+		cfg:       cfg,
+		gate:      newGate(cfg.MaxInFlight, cfg.MaxWaiters, cfg.QueueWait),
+		sessions:  newSessionTable(cfg.SessionTTL, cfg.MaxSessions),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		endpoints: map[string]*endpointCounters{},
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /ingest", s.gated(s.handleIngest))
-	s.mux.HandleFunc("POST /plan", s.gated(s.handlePlan))
-	s.mux.HandleFunc("POST /query", s.gated(s.handleQuery))
-	s.mux.HandleFunc("POST /chat", s.gated(s.handleChat))
+	for _, route := range []string{"/healthz", "/stats", "/ingest", "/plan", "/query", "/chat"} {
+		s.endpoints[route] = &endpointCounters{}
+	}
+	s.mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.counted("/stats", s.handleStats))
+	s.mux.HandleFunc("POST /ingest", s.counted("/ingest", s.gated(s.handleIngest)))
+	s.mux.HandleFunc("POST /plan", s.counted("/plan", s.gated(s.handlePlan)))
+	s.mux.HandleFunc("POST /query", s.counted("/query", s.gated(s.handleQuery)))
+	s.mux.HandleFunc("POST /chat", s.counted("/chat", s.gated(s.handleChat)))
 	return s
 }
 
@@ -272,6 +277,11 @@ type StatsResponse struct {
 	LLM      llm.StackStats `json:"llm"`
 	Gate     gateStats      `json:"admission"`
 	Sessions sessionStats   `json:"sessions"`
+	// Endpoints breaks the traffic down per route: request counts by
+	// outcome class (ok / client error / server error / shed) plus
+	// cumulative and max handler latency — the server-side counters the
+	// arynload harness and operators read.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 type sessionStats struct {
@@ -301,17 +311,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	endpoints := make(map[string]EndpointStats, len(s.endpoints))
+	for route, ep := range s.endpoints {
+		endpoints[route] = ep.snapshot()
+	}
 	s.writeJSON(w, http.StatusOK, StatsResponse{
-		TraceID:  traceFrom(r.Context()),
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Requests: s.requests.Load(),
-		Ready:    s.sys.Ready(),
-		Docs:     s.sys.Store.NumDocs(),
-		Chunks:   s.sys.Store.NumChunks(),
-		Usage:    s.sys.LLM.Usage(),
-		LLM:      s.sys.LLMStats(),
-		Gate:     s.gate.stats(),
-		Sessions: sessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
+		TraceID:   traceFrom(r.Context()),
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Requests:  s.requests.Load(),
+		Ready:     s.sys.Ready(),
+		Docs:      s.sys.Store.NumDocs(),
+		Chunks:    s.sys.Store.NumChunks(),
+		Usage:     s.sys.LLM.Usage(),
+		LLM:       s.sys.LLMStats(),
+		Gate:      s.gate.stats(),
+		Sessions:  sessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
+		Endpoints: endpoints,
 	})
 }
 

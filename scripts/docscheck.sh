@@ -4,9 +4,13 @@
 #   1. every internal/ package carries a doc.go whose package comment
 #      documents the package (role / paper counterpart / concurrency
 #      contract live there, per ARCHITECTURE.md);
-#   2. every relative markdown link in *.md and docs/ resolves to a file
+#   2. every cmd/ binary carries a '// Command <name> ...' package
+#      comment in some .go file (usage and role documented at the top);
+#   3. every relative markdown link in *.md and docs/ resolves to a file
 #      or directory that exists (external http(s) links are not fetched —
-#      the gate is hermetic).
+#      the gate is hermetic);
+#   4. every docs/*.md page is linked from at least one other markdown
+#      file (no orphaned documentation).
 #
 # Fails with a list of every problem found, not just the first.
 set -uo pipefail
@@ -30,7 +34,16 @@ for dir in internal/*/; do
   fi
 done
 
-# ---- 2. markdown relative-link check ----
+# ---- 2. per-command package comment coverage ----
+for dir in cmd/*/; do
+  cmd=$(basename "$dir")
+  if ! grep -l "^// Command $cmd " "$dir"*.go >/dev/null 2>&1; then
+    echo "docscheck: $dir has no '// Command $cmd ...' package comment" >&2
+    fail=1
+  fi
+done
+
+# ---- 3. markdown relative-link check ----
 # Collect tracked-looking markdown: top level and docs/.
 mdfiles=$(find . -maxdepth 1 -name '*.md'; find docs -name '*.md' 2>/dev/null)
 
@@ -49,6 +62,25 @@ for md in $mdfiles; do
       fail=1
     fi
   done
+done
+
+# ---- 4. orphaned docs pages ----
+# Every docs/*.md must be reachable: linked from some other markdown file.
+for page in docs/*.md; do
+  [ -e "$page" ] || continue
+  name=$(basename "$page")
+  linked=0
+  for md in $mdfiles; do
+    [ "$md" -ef "$page" ] && continue
+    if grep -q "[(/]$name" "$md" 2>/dev/null; then
+      linked=1
+      break
+    fi
+  done
+  if [ "$linked" -eq 0 ]; then
+    echo "docscheck: $page is not linked from any other markdown file" >&2
+    fail=1
+  fi
 done
 
 if [ "$fail" -ne 0 ]; then
