@@ -7,7 +7,7 @@ GO ?= go
 # Pinned staticcheck release; CI installs exactly this and caches it.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test lint staticcheck print-staticcheck-version smoke bench bench-retrieval bench-serving docs-check ci
+.PHONY: build test lint staticcheck print-staticcheck-version smoke bench bench-retrieval bench-serving chaos docs-check ci
 
 build:
 	$(GO) build ./...
@@ -71,5 +71,13 @@ bench-retrieval:
 # scripts/bench_serving.sh; CI runs a short burst and uploads the JSON.
 bench-serving:
 	./scripts/bench_serving.sh
+
+# Chaos gate: boot arynd with the /faults endpoint and drive the opt-in
+# chaos mix (scripted LLM outages, flaky backends, cache kills, ingest
+# saturation) through arynload. The mix's zero-error SLO is the
+# degradation contract: degraded 200s, never 500s. Knobs (CHAOS_QPS,
+# _DURATION, ...) are env vars — see scripts/chaos.sh.
+chaos:
+	./scripts/chaos.sh
 
 ci: build lint staticcheck test bench

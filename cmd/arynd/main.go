@@ -33,7 +33,9 @@ import (
 	"time"
 
 	"aryn/internal/core"
+	"aryn/internal/fault"
 	"aryn/internal/ntsb"
+	"aryn/internal/resilience"
 	"aryn/internal/server"
 )
 
@@ -50,29 +52,61 @@ func main() {
 		queueWait   = flag.Duration("queue-wait", 2*time.Second, "max time a queued request waits for a slot")
 		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "idle chat session eviction TTL")
 		maxSessions = flag.Int("max-sessions", 1024, "max live chat sessions")
-		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request execution deadline")
+		qryTimeout  = flag.Duration("query-timeout", 60*time.Second, "per-query/chat execution deadline (0 = unlimited)")
+		faultSpec   = flag.String("fault-spec", "", "activate this JSON fault spec at boot (implies -fault-endpoint; see docs/fault-injection.md)")
+		faultEP     = flag.Bool("fault-endpoint", false, "expose the dev-only /faults chaos-control endpoint")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *docs, *seed, *sysSeed, *parallelism, *llmCache, server.Config{
+	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxWaiters:     *maxWaiters,
 		QueueWait:      *queueWait,
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
-		RequestTimeout: *reqTimeout,
-	}); err != nil {
+		RequestTimeout: *qryTimeout,
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = -1 // 0 on the flag means unlimited
+	}
+	var inj *fault.Injector
+	if *faultSpec != "" || *faultEP {
+		spec := fault.Spec{}
+		if *faultSpec != "" {
+			var err error
+			if spec, err = fault.ParseSpec(*faultSpec); err != nil {
+				fmt.Fprintln(os.Stderr, "arynd:", err)
+				os.Exit(1)
+			}
+		}
+		inj = fault.New(spec)
+		cfg.Fault = inj
+	}
+
+	if err := run(*addr, *docs, *seed, *sysSeed, *parallelism, *llmCache, inj, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "arynd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache string, cfg server.Config) error {
+func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache string, inj *fault.Injector, cfg server.Config) error {
 	sys := core.New(core.Config{
 		Seed:         sysSeed,
 		Parallelism:  parallelism,
 		LLMCachePath: llmCache,
+		// The daemon always serves with the resilience middleware: retries
+		// with jittered backoff, the per-backend circuit breaker behind
+		// /stats, and degraded-mode serving when the breaker opens.
+		Resilience: &resilience.Options{},
+		Fault:      inj,
 	})
+	if inj != nil {
+		if inj.Spec().Active() {
+			log.Printf("arynd: fault injection ACTIVE at boot (dev only)")
+		} else {
+			log.Printf("arynd: /faults chaos endpoint enabled (dev only)")
+		}
+	}
 	if llmCache != "" {
 		log.Printf("arynd: LLM cache warm-start from %s", llmCache)
 	}

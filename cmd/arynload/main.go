@@ -51,11 +51,12 @@ func listScenarios() {
 		fmt.Printf("%-22s %-45s %s\n", s.Name, s.Paper, s.Description)
 	}
 	fmt.Println("\nMIXES (weights → SLO):")
-	for _, m := range scenario.Mixes() {
+	for _, m := range append(scenario.Mixes(), scenario.ChaosMix()) {
 		fmt.Printf("  %-16s %s\n", m.Name, m.Description)
 		fmt.Printf("  %-16s weights %v, SLO p99 ≤ %s, shed ≤ %.0f%%, errors ≤ %.1f%%\n",
 			"", m.Weights, m.SLO.P99, m.SLO.MaxShedRate*100, m.SLO.MaxErrorRate*100)
 	}
+	fmt.Println("\nThe chaos mix is opt-in (-mixes chaos) and needs an arynd started with -fault-endpoint.")
 }
 
 func run(addr, mixNames string, qps float64, duration time.Duration, execs, workers int, seed int64, out, label string, slo bool, params scenario.Params) error {
@@ -128,7 +129,7 @@ func resolveMixes(names string) ([]scenario.Mix, error) {
 		m, ok := scenario.MixByName(name)
 		if !ok {
 			known := make([]string, 0)
-			for _, k := range scenario.Mixes() {
+			for _, k := range append(scenario.Mixes(), scenario.ChaosMix()) {
 				known = append(known, k.Name)
 			}
 			return nil, fmt.Errorf("unknown mix %q (have: %s)", name, strings.Join(known, ", "))

@@ -12,10 +12,12 @@ import (
 	"aryn/internal/docparse"
 	"aryn/internal/docset"
 	"aryn/internal/embed"
+	"aryn/internal/fault"
 	"aryn/internal/index"
 	"aryn/internal/llm"
 	"aryn/internal/luna"
 	"aryn/internal/rag"
+	"aryn/internal/resilience"
 )
 
 // Config parameterizes a System.
@@ -42,6 +44,15 @@ type Config struct {
 	// LLMBatchLinger is how long an under-full batch waits for peers
 	// (default 1ms).
 	LLMBatchLinger time.Duration
+	// Resilience, when set, inserts the retry/circuit-breaker middleware
+	// into the LLM stack (between singleflight and the batcher) and paces
+	// docset retries with the same backoff family. Nil keeps the
+	// historical stack — library users opt in; the server always opts in.
+	Resilience *resilience.Options
+	// Fault, when set, wraps the backing model with the fault injector and
+	// hooks docset stage attempts — the chaos-testing seam. The injector
+	// stays inert until a spec is activated, so wiring it costs nothing.
+	Fault *fault.Injector
 }
 
 // System is a fully wired Aryn instance.
@@ -64,6 +75,12 @@ type System struct {
 	Query    *luna.Service
 	Conv     *luna.Conversation
 	RAG      *rag.Pipeline
+	// Resilience is the retry/breaker middleware instance when
+	// Config.Resilience was set (nil otherwise).
+	Resilience *resilience.Middleware
+	// Fault is the injector from Config.Fault (nil when chaos testing is
+	// not wired).
+	Fault *fault.Injector
 
 	// mu guards the Prepare swap of Schema/Query/Conv against concurrent
 	// accessor reads.
@@ -102,7 +119,21 @@ func New(cfg Config) *System {
 		}
 		stackOpts = append(stackOpts, llm.WithBatching(maxBatch, linger))
 	}
-	stack := llm.NewStack(sim, stackOpts...)
+	var resMW *resilience.Middleware
+	if cfg.Resilience != nil {
+		stackOpts = append(stackOpts, llm.WithResilience(func(inner llm.Client) llm.Client {
+			resMW = resilience.Wrap(inner, *cfg.Resilience)
+			return resMW
+		}))
+	}
+	// The fault injector wraps the backend itself so injected failures
+	// exercise the full middleware stack above it (breaker, retries,
+	// cache-served degradation) exactly like a real outage would.
+	var backend llm.Client = sim
+	if cfg.Fault != nil {
+		backend = cfg.Fault.Client(sim)
+	}
+	stack := llm.NewStack(backend, stackOpts...)
 	meter := llm.NewMeter(stack)
 	embedder := embed.NewHash(cfg.Seed)
 	var store *index.Store
@@ -111,19 +142,30 @@ func New(cfg Config) *System {
 	} else {
 		store = index.NewStore()
 	}
+	ecOpts := []docset.Option{
+		docset.WithLLM(meter),
+		docset.WithEmbedder(embedder),
+		docset.WithParallelism(cfg.Parallelism),
+	}
+	if cfg.Resilience != nil {
+		// Pace docset-level retries with the same jitter family as the LLM
+		// middleware (fresh retrier: independent stream, same policy).
+		ecOpts = append(ecOpts, docset.WithBackoff(resilience.NewRetrier(cfg.Resilience.Retry)))
+	}
+	if cfg.Fault != nil {
+		ecOpts = append(ecOpts, docset.WithFaultHook(cfg.Fault.Hook))
+	}
 	s := &System{
-		Config:   cfg,
-		Sim:      sim,
-		Stack:    stack,
-		LLM:      meter,
-		Embedder: embedder,
-		Store:    store,
-		Parser:   docparse.New(docparse.WithSeed(cfg.Seed + 1)),
-		EC: docset.NewContext(
-			docset.WithLLM(meter),
-			docset.WithEmbedder(embedder),
-			docset.WithParallelism(cfg.Parallelism),
-		),
+		Config:     cfg,
+		Sim:        sim,
+		Stack:      stack,
+		LLM:        meter,
+		Embedder:   embedder,
+		Store:      store,
+		Parser:     docparse.New(docparse.WithSeed(cfg.Seed + 1)),
+		EC:         docset.NewContext(ecOpts...),
+		Resilience: resMW,
+		Fault:      cfg.Fault,
 	}
 	s.RAG = rag.New(store, meter, embedder)
 	s.RAG.K = cfg.RAGK
@@ -272,6 +314,54 @@ func (s *System) Ask(ctx context.Context, question string) (*luna.Result, error)
 // AskRAG answers through the RAG baseline for comparison.
 func (s *System) AskRAG(ctx context.Context, question string) (*rag.Response, error) {
 	return s.RAG.Answer(ctx, question)
+}
+
+// Degraded reports whether the system is serving in degraded mode —
+// currently: the LLM circuit breaker is not closed — along with a short
+// operator-facing reason.
+func (s *System) Degraded() (bool, string) {
+	if s.Resilience == nil {
+		return false, ""
+	}
+	if st := s.Resilience.Breaker().State(); st != resilience.Closed {
+		return true, fmt.Sprintf("llm circuit %s", st)
+	}
+	return false, ""
+}
+
+// PurgeLLMCache drops every resident response-cache entry (the
+// cache-killed-mid-run chaos hook), returning how many were dropped.
+func (s *System) PurgeLLMCache() int {
+	if c := s.Stack.CacheLayer(); c != nil {
+		return c.Purge()
+	}
+	return 0
+}
+
+// RetrievalOnly answers a question without any LLM call: the top-k
+// retrieved chunks rendered as a numbered excerpt list. This is the
+// degraded-mode fallback the serving layer uses when the model backend is
+// unavailable — strictly worse than a synthesized answer, strictly better
+// than a 500. Returns the rendered answer and how many chunks backed it.
+func (s *System) RetrievalOnly(question string, k int) (string, int) {
+	if k <= 0 {
+		k = 5
+	}
+	vec := s.Embedder.Embed(question)
+	hits := s.Store.SearchChunks(index.Query{Vector: vec, K: k})
+	if len(hits) == 0 {
+		return "No indexed content matched the question (LLM backend unavailable; retrieval-only answer).", 0
+	}
+	var sb strings.Builder
+	sb.WriteString("LLM backend unavailable; showing the most relevant indexed excerpts instead of a synthesized answer:\n")
+	for i, h := range hits {
+		text := strings.ReplaceAll(h.Chunk.Text, "\n", " ")
+		if len(text) > 240 {
+			text = text[:240] + "…"
+		}
+		fmt.Fprintf(&sb, "[%d] (doc %s) %s\n", i+1, h.Chunk.ParentID, text)
+	}
+	return sb.String(), len(hits)
 }
 
 // deriveFields computes post-extraction properties: calendar month/year

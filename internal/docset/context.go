@@ -2,9 +2,11 @@ package docset
 
 import (
 	"context"
+	"time"
 
 	"aryn/internal/embed"
 	"aryn/internal/llm"
+	"aryn/internal/resilience"
 )
 
 // Context carries the shared services a DocSet plan executes against: the
@@ -23,6 +25,24 @@ type Context struct {
 	// SampleSize is how many document summaries each operator keeps in its
 	// lineage trace (default 3).
 	SampleSize int
+	// AttemptTimeout bounds each per-document attempt (map-stage retries
+	// get a fresh budget per attempt). 0 means no per-attempt bound.
+	AttemptTimeout time.Duration
+	// Backoff paces the delay between transient-failure retries. The
+	// default is a fast seeded full-jitter policy (single-digit
+	// milliseconds) so in-process retries stay cheap; server deployments
+	// install the same retrier family they use in the LLM middleware.
+	Backoff *resilience.Retrier
+	// FaultHook, when set, is consulted once per map-stage attempt with
+	// the operator name — the chaos-testing seam that lets a fault
+	// injector fail or slow ingest/index paths that never touch the LLM.
+	FaultHook func(op string) error
+
+	// callCtx is the context the current stage attempt runs under. Stage
+	// runners install it (per attempt for map stages, per plan for
+	// barriers) so semantic operators issue LLM calls that honor the
+	// plan's cancellation and the per-attempt timeout.
+	callCtx context.Context
 
 	// budget, when set, caps the busy map-stage workers across every
 	// pipeline sharing this context — the per-query worker budget the
@@ -82,6 +102,25 @@ func (c *Context) releaseWorker() {
 	<-c.budget.slots
 }
 
+// CallContext returns the context the current stage attempt should issue
+// model and I/O calls under: the plan's context bounded by the per-attempt
+// timeout. Background when the operator runs outside a stage (direct
+// calls in tests).
+func (c *Context) CallContext() context.Context {
+	if c.callCtx != nil {
+		return c.callCtx
+	}
+	return context.Background()
+}
+
+// withCallCtx returns a copy of the context with the attempt context
+// installed (stage runners call this; operators read CallContext).
+func (c *Context) withCallCtx(ctx context.Context) *Context {
+	out := *c
+	out.callCtx = ctx
+	return &out
+}
+
 // forStage returns a stage-scoped view of the context whose LLM client
 // records per-call activity into the stage's trace node. Attribution at
 // dispatch is what makes shared subtrees report their usage exactly once:
@@ -130,6 +169,23 @@ func WithRetries(n int) Option {
 	}
 }
 
+// WithBackoff sets the retrier pacing delays between transient-failure
+// retries (its MaxAttempts is ignored here — Retries owns the budget).
+func WithBackoff(r *resilience.Retrier) Option {
+	return func(ctx *Context) { ctx.Backoff = r }
+}
+
+// WithAttemptTimeout bounds each per-document map-stage attempt.
+func WithAttemptTimeout(d time.Duration) Option {
+	return func(ctx *Context) { ctx.AttemptTimeout = d }
+}
+
+// WithFaultHook installs a chaos-testing hook consulted once per
+// map-stage attempt (see Context.FaultHook).
+func WithFaultHook(hook func(op string) error) Option {
+	return func(ctx *Context) { ctx.FaultHook = hook }
+}
+
 // NewContext builds an execution context. Unset services default to a
 // seeded Sim LLM and hash embedder so examples work out of the box.
 func NewContext(opts ...Option) *Context {
@@ -142,6 +198,16 @@ func NewContext(opts ...Option) *Context {
 	}
 	if ctx.Embedder == nil {
 		ctx.Embedder = embed.NewHash(0)
+	}
+	if ctx.Backoff == nil {
+		// Fast in-process default: retries pace in single-digit
+		// milliseconds so library users and tests never notice, while the
+		// delay still decorrelates a retry stampede.
+		ctx.Backoff = resilience.NewRetrier(resilience.Policy{
+			BaseDelay: time.Millisecond,
+			MaxDelay:  20 * time.Millisecond,
+			Seed:      1,
+		})
 	}
 	return ctx
 }

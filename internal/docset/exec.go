@@ -11,6 +11,7 @@ import (
 
 	"aryn/internal/docmodel"
 	"aryn/internal/llm"
+	"aryn/internal/resilience"
 )
 
 // envelope carries a document through the pipeline with a hierarchical
@@ -232,14 +233,24 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()
 	}
-	if firstErr != nil {
-		return nil, trace, fmt.Errorf("docset: execute: %w", firstErr)
-	}
 
 	sort.Slice(collected, func(i, j int) bool { return seqLess(collected[i].seq, collected[j].seq) })
 	docs := make([]*docmodel.Document, len(collected))
 	for i, env := range collected {
 		docs[i] = env.doc
+	}
+	if firstErr != nil {
+		// Annotate the trace with which operators actually failed
+		// (collateral cancellations stay blank) and hand back whatever
+		// flowed out before the failure: callers serving under degraded
+		// mode return partial results with per-node error provenance
+		// instead of discarding completed work.
+		for i, e := range errs {
+			if e != nil && !errors.Is(e, context.Canceled) {
+				traces[i].Err = e.Error()
+			}
+		}
+		return docs, trace, fmt.Errorf("docset: execute: %w", firstErr)
 	}
 	return docs, trace, nil
 }
@@ -301,16 +312,61 @@ func runMapStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTrace, 
 	return nil
 }
 
-// applyWithRetry retries transient LLM failures up to the context budget.
+// applyWithRetry runs one document through a map function, retrying
+// transient failures up to the context's Retries budget. Retries pace
+// through the context's resilience.Retrier (full-jitter backoff, honoring
+// Retry-After hints and the plan deadline), each attempt runs under a
+// fresh AttemptTimeout when one is configured, and the FaultHook gets a
+// chance to fail the attempt first. Backoff waits accumulate in the trace
+// node so EXPLAIN ANALYZE separates "stalled retrying" from "busy".
 func applyWithRetry(ctx context.Context, ec *Context, fn func(*Context, *docmodel.Document) ([]*docmodel.Document, error), doc *docmodel.Document, nt *NodeTrace) ([]*docmodel.Document, error) {
 	var lastErr error
 	for attempt := 0; attempt <= ec.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("retries cut short: %w", lastErr)
+			}
 			return nil, err
 		}
-		results, err := fn(ec, doc)
+		if attempt > 0 && ec.Backoff != nil {
+			hint, _ := resilience.RetryAfterHint(lastErr)
+			waited, err := ec.Backoff.Wait(ctx, attempt, hint)
+			atomic.AddInt64(&nt.BackoffNS, int64(waited))
+			if err != nil {
+				return nil, fmt.Errorf("retries cut short: %w", lastErr)
+			}
+		}
+		if ec.FaultHook != nil {
+			if err := ec.FaultHook(nt.Name); err != nil {
+				lastErr = err
+				if !errors.Is(err, llm.ErrTransient) {
+					return nil, err
+				}
+				atomic.AddInt64(&nt.Retries, 1)
+				continue
+			}
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if ec.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, ec.AttemptTimeout)
+		}
+		results, err := fn(ec.withCallCtx(actx), doc)
+		if cancel != nil {
+			cancel()
+		}
 		if err == nil {
 			return results, nil
+		}
+		if ctx.Err() != nil {
+			// The plan itself was canceled or timed out mid-attempt: not an
+			// operator failure, and not retryable.
+			return nil, ctx.Err()
+		}
+		if ec.AttemptTimeout > 0 && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			// Only the attempt's own budget expired (the plan is alive): a
+			// slow backend call, retryable like any transient failure.
+			err = fmt.Errorf("attempt timed out after %s: %w", ec.AttemptTimeout, llm.ErrTransient)
 		}
 		lastErr = err
 		if !errors.Is(err, llm.ErrTransient) {
@@ -340,10 +396,13 @@ func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTra
 	t0 := time.Now()
 	var results []*docmodel.Document
 	var err error
+	// Barriers run one shot under the plan context directly (no per-attempt
+	// budget: a reduce over the whole collection is not retryable work).
+	bec := ec.withCallCtx(ctx)
 	if sp.barrierCtxFn != nil {
-		results, err = sp.barrierCtxFn(ctx, ec, docs)
+		results, err = sp.barrierCtxFn(ctx, bec, docs)
 	} else {
-		results, err = sp.barrierFn(ec, docs)
+		results, err = sp.barrierFn(bec, docs)
 	}
 	nt.noteSpan(t0, time.Now())
 	if err != nil {

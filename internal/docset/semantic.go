@@ -1,7 +1,6 @@
 package docset
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -30,7 +29,7 @@ func (ds *DocSet) LLMExtract(fields []llm.FieldSpec) *DocSet {
 		mutates: true, // merges extracted fields into d.Properties
 		mapFn: func(ec *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			prompt := llm.ExtractPrompt(fields, d.TextContent())
-			resp, err := ec.LLM.Complete(context.Background(), llm.Request{Prompt: prompt})
+			resp, err := ec.LLM.Complete(ec.CallContext(), llm.Request{Prompt: prompt})
 			if err != nil {
 				return nil, err
 			}
@@ -56,7 +55,7 @@ func (ds *DocSet) LLMFilter(question string) *DocSet {
 		kind: mapKind,
 		mapFn: func(ec *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			prompt := llm.FilterPrompt(question, d.TextContent())
-			resp, err := ec.LLM.Complete(context.Background(), llm.Request{Prompt: prompt})
+			resp, err := ec.LLM.Complete(ec.CallContext(), llm.Request{Prompt: prompt})
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +92,7 @@ func (ds *DocSet) LLMReduceByKey(keyField, instruction string) *DocSet {
 		mapFn: func(ec *Context, d *docmodel.Document) ([]*docmodel.Document, error) {
 			items := strings.Split(d.Text, "\n")
 			prompt := llm.SummarizePrompt(instruction, items)
-			resp, err := ec.LLM.Complete(context.Background(), llm.Request{Prompt: prompt})
+			resp, err := ec.LLM.Complete(ec.CallContext(), llm.Request{Prompt: prompt})
 			if err != nil {
 				return nil, err
 			}
@@ -134,7 +133,7 @@ func (ds *DocSet) Summarize(instruction string) *DocSet {
 				items = append(items, d.TextContent())
 			}
 			prompt := llm.SummarizePrompt(instruction, items)
-			resp, err := ec.LLM.Complete(context.Background(), llm.Request{Prompt: prompt})
+			resp, err := ec.LLM.Complete(ec.CallContext(), llm.Request{Prompt: prompt})
 			if err != nil {
 				return nil, err
 			}

@@ -41,6 +41,14 @@ type NodeTrace struct {
 	In, Out int64
 	// Retries counts transient-failure retries performed.
 	Retries int64
+	// BackoffNS accumulates nanoseconds spent waiting between retry
+	// attempts — time the operator was stalled on backoff, not busy —
+	// so EXPLAIN ANALYZE can separate "slow" from "retrying".
+	BackoffNS int64
+	// Err records why this operator failed ("" on success). Execute fills
+	// it after the run settles, so partial results stay auditable: the
+	// trace shows exactly which node broke and what flowed before it did.
+	Err string
 	// Duration is the operator's busy time across workers.
 	Duration time.Duration
 	// LLMCalls, PromptTokens, CompletionTokens, and CacheHits count

@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aryn/internal/llm"
+)
+
+// okClient answers every completion with a fixed text.
+type okClient struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *okClient) Complete(_ context.Context, _ llm.Request) (llm.Response, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return llm.Response{Text: "0123456789"}, nil
+}
+func (c *okClient) Name() string { return "ok" }
+
+// fateString runs n calls through a fresh injector and encodes each
+// outcome as one character, giving a comparable fate stream.
+func fateString(t *testing.T, spec Spec, n int) string {
+	t.Helper()
+	inj := New(spec)
+	client := inj.Client(&okClient{})
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		resp, err := client.Complete(context.Background(), llm.Request{Prompt: "p"})
+		switch {
+		case err == nil && len(resp.Text) == 10:
+			sb.WriteByte('o') // ok
+		case err == nil:
+			sb.WriteByte('t') // truncated
+		case errors.Is(err, llm.ErrTransient):
+			sb.WriteByte('e') // transient error
+		default:
+			sb.WriteByte('p') // permanent error
+		}
+	}
+	return sb.String()
+}
+
+// TestInjectorDeterminism: the fate stream is a pure function of the seed
+// and the call sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Spec{Seed: 9, ErrorRate: 0.4, PermanentRate: 0.25, TruncateRate: 0.2}
+	a := fateString(t, spec, 200)
+	b := fateString(t, spec, 200)
+	if a != b {
+		t.Fatalf("same seed, different fate streams:\n%s\n%s", a, b)
+	}
+	if !strings.ContainsAny(a, "e") || !strings.Contains(a, "o") {
+		t.Fatalf("fate stream exercised too little: %s", a)
+	}
+	spec.Seed = 10
+	if fateString(t, spec, 200) == a {
+		t.Error("different seeds produced identical 200-call fate streams")
+	}
+}
+
+// TestInjectorSetResetsStreamAndStats: Set re-anchors everything, so a
+// scenario reads its own deterministic world.
+func TestInjectorSetResetsStreamAndStats(t *testing.T) {
+	spec := Spec{Seed: 9, ErrorRate: 0.5}
+	inj := New(spec)
+	client := inj.Client(&okClient{})
+	var first []bool
+	for i := 0; i < 50; i++ {
+		_, err := client.Complete(context.Background(), llm.Request{})
+		first = append(first, err != nil)
+	}
+	if inj.Stats().Calls != 50 {
+		t.Fatalf("stats.Calls = %d, want 50", inj.Stats().Calls)
+	}
+	inj.Set(spec)
+	if got := inj.Stats(); got.Calls != 0 || got.Transient != 0 {
+		t.Fatalf("Set did not reset stats: %+v", got)
+	}
+	for i := 0; i < 50; i++ {
+		_, err := client.Complete(context.Background(), llm.Request{})
+		if (err != nil) != first[i] {
+			t.Fatalf("call %d diverged after an identical re-Set", i)
+		}
+	}
+}
+
+// TestOutageWindows: inside a scripted window every call is rejected with
+// a transient error hinting the window's remainder; outside, calls flow.
+func TestOutageWindows(t *testing.T) {
+	inj := &Injector{now: time.Now}
+	inj.Set(Spec{})
+	clock := time.Unix(5000, 0)
+	inj.now = func() time.Time { return clock }
+	inj.Set(Spec{Outages: []Window{{StartMS: 100, EndMS: 300}}})
+	client := inj.Client(&okClient{})
+
+	// Before the window opens.
+	clock = clock.Add(50 * time.Millisecond)
+	if _, err := client.Complete(context.Background(), llm.Request{}); err != nil {
+		t.Fatalf("call before the outage window failed: %v", err)
+	}
+
+	// Inside: rejected, with the remainder as the Retry-After hint.
+	clock = clock.Add(150 * time.Millisecond) // elapsed 200ms
+	_, err := client.Complete(context.Background(), llm.Request{})
+	if !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("outage call: want a transient rejection, got %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("outage error is not a fault.Error: %v", err)
+	}
+	if fe.After != 100*time.Millisecond {
+		t.Errorf("Retry-After hint = %s, want the 100ms window remainder", fe.After)
+	}
+
+	// After the window closes.
+	clock = clock.Add(200 * time.Millisecond) // elapsed 400ms
+	if _, err := client.Complete(context.Background(), llm.Request{}); err != nil {
+		t.Fatalf("call after the outage window failed: %v", err)
+	}
+	if st := inj.Stats(); st.OutageRejections != 1 {
+		t.Errorf("stats = %+v, want exactly 1 outage rejection", st)
+	}
+}
+
+// TestTruncation: a truncate fate halves the response text.
+func TestTruncation(t *testing.T) {
+	inj := New(Spec{Seed: 3, TruncateRate: 1})
+	client := inj.Client(&okClient{})
+	resp, err := client.Complete(context.Background(), llm.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "01234" {
+		t.Fatalf("truncated text %q, want the first half of %q", resp.Text, "0123456789")
+	}
+	if st := inj.Stats(); st.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 truncation", st)
+	}
+}
+
+// TestHook: operator-path faults are transient and counted.
+func TestHook(t *testing.T) {
+	inj := New(Spec{Seed: 3, OpErrorRate: 1})
+	err := inj.Hook("write[index]")
+	if !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("hook fault must be transient, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "write[index]") {
+		t.Errorf("hook error %q does not carry the operator name", err)
+	}
+	inj.Clear()
+	if err := inj.Hook("write[index]"); err != nil {
+		t.Fatalf("cleared injector still injecting: %v", err)
+	}
+	if st := inj.Stats(); st.OpCalls != 1 || st.OpFaults != 0 {
+		t.Errorf("stats after Clear = %+v, want fresh counters", st)
+	}
+}
+
+// TestInertZeroSpec: the zero spec draws nothing and never perturbs
+// traffic — the wiring-always-on contract.
+func TestInertZeroSpec(t *testing.T) {
+	inj := New(Spec{})
+	if inj.Spec().Active() {
+		t.Fatal("zero spec reports active")
+	}
+	inner := &okClient{}
+	client := inj.Client(inner)
+	for i := 0; i < 100; i++ {
+		resp, err := client.Complete(context.Background(), llm.Request{})
+		if err != nil || resp.Text != "0123456789" {
+			t.Fatalf("inert injector perturbed call %d: %q, %v", i, resp.Text, err)
+		}
+	}
+	if err := inj.Hook("anything"); err != nil {
+		t.Fatalf("inert hook injected: %v", err)
+	}
+	if st := inj.Stats(); st.Calls != 100 || st.Transient+st.Permanent+st.Truncated+st.LatencySpikes != 0 {
+		t.Errorf("inert stats = %+v", st)
+	}
+}
+
+// TestParseSpec: valid JSON round-trips; unknown fields fail loudly.
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(`{"seed": 4, "error_rate": 0.25, "outages": [{"start_ms": 0, "end_ms": 500}]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 4 || s.ErrorRate != 0.25 || len(s.Outages) != 1 || s.Outages[0].EndMS != 500 {
+		t.Fatalf("parsed spec = %+v", s)
+	}
+	if !s.Active() {
+		t.Error("parsed spec reports inactive")
+	}
+	if _, err := ParseSpec(`{"eror_rate": 0.25}`); err == nil {
+		t.Fatal("typo'd field parsed silently")
+	}
+}
+
+// batchClient records batch sizes beneath the injector.
+type batchClient struct {
+	okClient
+	batches []int
+}
+
+func (c *batchClient) CompleteBatch(_ context.Context, reqs []llm.Request) ([]llm.Response, error) {
+	c.mu.Lock()
+	c.batches = append(c.batches, len(reqs))
+	c.mu.Unlock()
+	out := make([]llm.Response, len(reqs))
+	for i := range out {
+		out[i] = llm.Response{Text: "0123456789"}
+	}
+	return out, nil
+}
+
+// TestBatchFate: a grouped dispatch draws one fate — it fails or
+// truncates as a unit, and forwards to the inner batch client otherwise.
+func TestBatchFate(t *testing.T) {
+	inner := &batchClient{}
+	inj := New(Spec{Seed: 3, TruncateRate: 1})
+	client := inj.Client(inner).(llm.BatchClient)
+	resps, err := client.CompleteBatch(context.Background(), make([]llm.Request, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.Text != "01234" {
+			t.Fatalf("batch member %d not truncated with the batch: %q", i, r.Text)
+		}
+	}
+	if len(inner.batches) != 1 || inner.batches[0] != 3 {
+		t.Fatalf("batch not forwarded as a unit: %v", inner.batches)
+	}
+
+	inj.Set(Spec{Seed: 3, Outages: []Window{{StartMS: 0, EndMS: 60_000}}})
+	if _, err := client.CompleteBatch(context.Background(), make([]llm.Request, 2)); !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("batch during an outage: want transient rejection, got %v", err)
+	}
+}

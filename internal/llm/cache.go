@@ -211,6 +211,19 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Purge drops every resident entry, returning how many were dropped —
+// the "kill the cache mid-run" chaos hook. Hit/miss/eviction counters
+// survive (a purge is an operational event, not a stats reset), so
+// hit-rate deltas around a purge remain meaningful.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+	return n
+}
+
 // persistedCache is the on-disk representation (keys in LRU order, most
 // recent first), serialized like the index store: gzip over gob.
 type persistedCache struct {

@@ -25,6 +25,32 @@ const (
 	docClose = "DOCUMENT>>>"
 )
 
+// CallClass classifies a request by its task marker: "plan", "extract",
+// "filter", "summarize", "answer", or "generic" for prompts carrying no
+// marker. The resilience middleware keys per-call-class timeout budgets
+// on it (a planning call warrants a longer attempt budget than a yes/no
+// filter probe), and a backend router could key tiering on it the same
+// way.
+func CallClass(req Request) string {
+	first := req.Prompt
+	if i := strings.IndexByte(first, '\n'); i >= 0 {
+		first = first[:i]
+	}
+	switch first {
+	case TaskPlan:
+		return "plan"
+	case TaskExtract:
+		return "extract"
+	case TaskFilter:
+		return "filter"
+	case TaskSummarize:
+		return "summarize"
+	case TaskAnswer:
+		return "answer"
+	}
+	return "generic"
+}
+
 // FieldSpec describes one field an llmExtract call should pull from a
 // document, mirroring the JSON-schema input of the paper's
 // OpenAIPropertyExtractor (Fig. 4).

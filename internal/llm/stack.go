@@ -9,13 +9,17 @@ import (
 
 // This file composes the middleware layers into the canonical stack:
 //
-//	Cache → Flight → Batcher → backing model
+//	Cache → Flight → [Resilience] → Batcher → backing model
 //
 // The cache is outermost so hits skip everything; singleflight sits above
 // the batcher so concurrent identical requests collapse before grouping;
-// the batcher coalesces what remains into grouped upstream dispatches. An
-// outer Meter (not part of the stack) keeps reporting true upstream spend
-// because hit/follower responses carry zero Usage.
+// the optional resilience layer (WithResilience — retries, circuit
+// breaker, attempt timeouts) sits below the cache so cached answers keep
+// serving through an outage, and above the batcher so retried attempts
+// re-enter batching; the batcher coalesces what remains into grouped
+// upstream dispatches. An outer Meter (not part of the stack) keeps
+// reporting true upstream spend because hit/follower responses carry
+// zero Usage.
 
 // StackStats aggregates the counters of every middleware layer.
 type StackStats struct {
@@ -73,6 +77,7 @@ type stackConfig struct {
 	cachePath     string
 	maxBatch      int
 	linger        time.Duration
+	resilience    func(Client) Client
 }
 
 // StackOption configures a Stack.
@@ -102,6 +107,17 @@ func WithBatching(maxBatch int, linger time.Duration) StackOption {
 	}
 }
 
+// WithResilience inserts wrap between the singleflight layer and the
+// batcher: below the cache (hits never touch a breaker — serving cached
+// answers during an outage is the first line of graceful degradation)
+// and above the batcher (retried attempts re-enter batching). The
+// wrapped client should expose Inner() Client so StatsOf keeps walking
+// the chain. The llm package stays dependency-free of the resilience
+// implementation; internal/resilience provides the canonical wrapper.
+func WithResilience(wrap func(Client) Client) StackOption {
+	return func(c *stackConfig) { c.resilience = wrap }
+}
+
 // NewStack assembles the middleware pipeline around a backing client.
 func NewStack(inner Client, opts ...StackOption) *Stack {
 	cfg := stackConfig{cacheCapacity: 4096, maxBatch: 8, linger: time.Millisecond}
@@ -113,6 +129,9 @@ func NewStack(inner Client, opts ...StackOption) *Stack {
 	if cfg.maxBatch > 1 {
 		s.batcher = NewBatcher(client, WithMaxBatch(cfg.maxBatch), WithLinger(cfg.linger))
 		client = s.batcher
+	}
+	if cfg.resilience != nil {
+		client = cfg.resilience(client)
 	}
 	if !cfg.disableFlight {
 		s.flight = NewFlight(client)

@@ -297,12 +297,15 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 			merged.LLM = &delta
 		}
 	}
-	if execErr != nil {
-		return nil, fmt.Errorf("luna: execute: %w", execErr)
-	}
 	res.Trace = merged
 	res.Docs = docs
 	res.Exec = buildExecDetail(plan, merged, start, wall, qec.Parallelism, len(low.tasks)+1)
+	if execErr != nil {
+		// Partial result: the trace carries per-node error annotations and
+		// docs holds whatever flowed out before the failure. Callers decide
+		// whether to degrade (serve what ran, flagged) or fail outright.
+		return res, fmt.Errorf("luna: execute: %w", execErr)
+	}
 
 	groupKeyField := low.keyField
 	switch low.terminal.Op {

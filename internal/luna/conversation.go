@@ -53,7 +53,10 @@ func (c *Conversation) Ask(ctx context.Context, question string) (*Result, error
 	if fragment == "" || len(c.History) == 0 {
 		res, err := c.Service.Ask(ctx, question)
 		if err != nil {
-			return nil, err
+			// Propagate the partial result (if any) for degraded-mode
+			// serving, but keep it out of history: a follow-up must never
+			// resolve against a turn that failed.
+			return res, err
 		}
 		c.History = append(c.History, res)
 		return res, nil
@@ -63,7 +66,7 @@ func (c *Conversation) Ask(ctx context.Context, question string) (*Result, error
 	merged := c.mergeFollowUp(prev.Rewritten, fragment)
 	res, err := c.Service.RunPlan(ctx, question, merged)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	c.History = append(c.History, res)
 	return res, nil

@@ -32,8 +32,14 @@ type NodeRuntime struct {
 	// DocsIn and DocsOut count documents entering and leaving the node.
 	DocsIn  int64 `json:"docs_in"`
 	DocsOut int64 `json:"docs_out"`
-	// Retries counts transient LLM failures retried inside the node.
-	Retries int64 `json:"retries,omitempty"`
+	// Retries counts transient LLM failures retried inside the node;
+	// BackoffMS is the time the node's workers spent stalled in retry
+	// backoff (not counted as busy).
+	Retries   int64   `json:"retries,omitempty"`
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
+	// Error records why the node failed, for partial results served under
+	// degraded mode ("" and omitted on success).
+	Error string `json:"error,omitempty"`
 	// LLM activity dispatched by this node, each call counted exactly
 	// once (shared subtrees report on their own nodes, not per consumer).
 	// Token counts are true upstream spend: cache hits cost zero tokens.
@@ -108,6 +114,10 @@ func buildExecDetail(plan *LogicalPlan, trace *docset.Trace, start time.Time, wa
 		for _, nt := range nts {
 			r.BusyMS += roundMS(nt.Duration)
 			r.Retries += nt.Retries
+			r.BackoffMS += roundMS(time.Duration(nt.BackoffNS))
+			if nt.Err != "" && r.Error == "" {
+				r.Error = nt.Err
+			}
 			r.LLMCalls += nt.LLMCalls
 			r.PromptTokens += nt.PromptTokens
 			r.CompletionTokens += nt.CompletionTokens

@@ -63,21 +63,22 @@ func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
 		return nil, err
 	}
 	res, err := s.Executor.Run(ctx, rewritten)
-	if err != nil {
-		return nil, err
-	}
-	res.Question = question
-	res.Plan = raw
-	res.Rewritten = rewritten
-	if hasStats {
-		// Planner and executor share one middleware stack in a wired
-		// system, so a single delta covers the whole query.
-		if after, ok := llm.StatsOf(s.Planner.Client); ok {
-			delta := after.Sub(before)
-			res.LLM = &delta
+	if res != nil {
+		// Fill in the query facts even on a partial result so degraded-mode
+		// callers can still show the plan and per-node error annotations.
+		res.Question = question
+		res.Plan = raw
+		res.Rewritten = rewritten
+		if hasStats {
+			// Planner and executor share one middleware stack in a wired
+			// system, so a single delta covers the whole query.
+			if after, ok := llm.StatsOf(s.Planner.Client); ok {
+				delta := after.Sub(before)
+				res.LLM = &delta
+			}
 		}
 	}
-	return res, nil
+	return res, err
 }
 
 // RunPlan executes a user-edited plan directly (the §6.2 "modify any part
@@ -90,12 +91,11 @@ func (s *Service) RunPlan(ctx context.Context, question string, plan *LogicalPla
 		return nil, err
 	}
 	res, err := s.Executor.Run(ctx, Rewrite(plan, s.Planner.Rewrites))
-	if err != nil {
-		return nil, err
+	if res != nil {
+		res.Question = question
+		res.Plan = plan
 	}
-	res.Question = question
-	res.Plan = plan
-	return res, nil
+	return res, err
 }
 
 // PlanPreview is a planned-but-not-executed query: the inspectable half

@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's probe-interval arithmetic without
+// wall-clock sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// loop, including the reopen-on-probe-failure edge.
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 3, ProbeInterval: time.Second, ProbeBudget: 2, SuccessThreshold: 2}
+	b, clk := testBreaker(cfg)
+
+	// Closed: failures below the threshold keep calls flowing.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if st := b.State(); st != Closed {
+		t.Fatalf("state %s after 2/3 failures, want closed", st)
+	}
+	// A success resets the streak.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Success()
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Failure()
+	}
+	if st := b.State(); st != Open {
+		t.Fatalf("state %s after threshold failures, want open", st)
+	}
+
+	// Open: rejections carry a RetryAfter hint bounded by the interval.
+	err := b.Allow()
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker admitted a call (err = %v)", err)
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint <= 0 || hint > cfg.ProbeInterval {
+		t.Fatalf("rejection hint = %v, %v; want (0, %s]", hint, ok, cfg.ProbeInterval)
+	}
+
+	// Probe window: the budget bounds admitted probes.
+	clk.advance(cfg.ProbeInterval + time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("third probe admitted beyond budget 2 (err = %v)", err)
+	}
+	if st := b.State(); st != HalfOpen {
+		t.Fatalf("state %s inside probe window, want half-open", st)
+	}
+
+	// A probe failure reopens immediately.
+	b.Failure()
+	if st := b.State(); st != Open {
+		t.Fatalf("state %s after probe failure, want open", st)
+	}
+
+	// Next window: enough successes close the circuit.
+	clk.advance(cfg.ProbeInterval + time.Millisecond)
+	for i := 0; i < cfg.SuccessThreshold; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("probe %d rejected: %v", i, err)
+		}
+		b.Success()
+	}
+	if st := b.State(); st != Closed {
+		t.Fatalf("state %s after %d probe successes, want closed", st, cfg.SuccessThreshold)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected traffic after recovery: %v", err)
+	}
+	b.Success()
+
+	stats := b.Stats()
+	if stats.State != "closed" || stats.Opens != 2 || stats.Rejections == 0 || stats.Probes == 0 {
+		t.Errorf("stats after the lifecycle: %+v", stats)
+	}
+}
+
+// TestBreakerDiscard: a discarded probe frees its slot without a verdict.
+func TestBreakerDiscard(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{FailureThreshold: 1, ProbeInterval: time.Second, ProbeBudget: 1, SuccessThreshold: 1})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure() // trip
+	clk.advance(time.Second + time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Discard() // caller died mid-probe: no verdict
+	if st := b.State(); st != HalfOpen {
+		t.Fatalf("state %s after discarded probe, want half-open", st)
+	}
+	// The freed slot admits the next probe in the same window.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("slot not released by Discard: %v", err)
+	}
+	b.Success()
+	if st := b.State(); st != Closed {
+		t.Fatalf("state %s after probe success, want closed", st)
+	}
+}
+
+// TestBreakerConcurrentHammer drives every transition from many
+// goroutines at once; run under -race this is the data-race gate for the
+// Allow/Success/Failure/Discard protocol.
+func TestBreakerConcurrentHammer(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{FailureThreshold: 3, ProbeInterval: time.Millisecond, ProbeBudget: 2, SuccessThreshold: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				if err := b.Allow(); err != nil {
+					if !errors.Is(err, ErrCircuitOpen) {
+						t.Errorf("unexpected rejection: %v", err)
+						return
+					}
+					continue
+				}
+				switch rng.Intn(3) {
+				case 0:
+					b.Success()
+				case 1:
+					b.Failure()
+				default:
+					b.Discard()
+				}
+				if i%50 == 0 {
+					clk.advance(time.Millisecond)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	// Whatever the final state, the accounting must be coherent and the
+	// breaker must still recover: advance past the interval and feed
+	// successes until it closes.
+	for i := 0; i < 100 && b.State() != Closed; i++ {
+		clk.advance(2 * time.Millisecond)
+		if err := b.Allow(); err == nil {
+			b.Success()
+		}
+	}
+	if st := b.State(); st != Closed {
+		t.Fatalf("breaker wedged %s after the hammer; probes cannot close it", st)
+	}
+}

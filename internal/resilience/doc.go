@@ -1,0 +1,21 @@
+// Package resilience makes model-backed serving survive a flaky backend:
+// retry with exponential backoff and full jitter (honoring context
+// deadlines and Retry-After-style hints), a per-backend circuit breaker
+// (closed → open → half-open with a bounded probe budget), and
+// per-call-class attempt timeouts, composed into an llm.Client middleware
+// that slots into the internal/llm stack between singleflight and the
+// batcher.
+//
+// The paper's thesis is that an LLM analytics system is a service built
+// on slow, rate-limited, failure-prone model calls; this package is the
+// defense layer that turns those failures into bounded retries, fast
+// fails, and degradable errors instead of hung requests and 500s. The
+// serving layer tests errors with Unavailable to decide whether a
+// retrieval-only degraded answer applies, and exposes breaker state on
+// /stats and /healthz.
+//
+// Concurrency: Retrier, Breaker, and Middleware are all safe for
+// concurrent use. The Breaker serializes state transitions under one
+// mutex; calls admitted while closed that finish after a trip are
+// absorbed without corrupting half-open probe accounting.
+package resilience

@@ -1,0 +1,212 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aryn/internal/llm"
+)
+
+func fastOpts() Options {
+	return Options{
+		Retry: Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1},
+	}
+}
+
+// TestMiddlewareRetriesTransient: a transient failure is retried and the
+// eventual success is returned; the stats record the extra attempt.
+func TestMiddlewareRetriesTransient(t *testing.T) {
+	inner := &llm.Scripted{
+		Errs:      []error{fmt.Errorf("blip: %w", llm.ErrTransient), nil},
+		Responses: []llm.Response{{Text: "ignored"}, {Text: "ok"}},
+	}
+	m := Wrap(inner, fastOpts())
+	resp, err := m.Complete(context.Background(), llm.Request{Prompt: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "ok" {
+		t.Fatalf("answer %q, want the post-retry response", resp.Text)
+	}
+	if calls := inner.Calls(); calls != 2 {
+		t.Errorf("backend saw %d calls, want 2 (one retry)", calls)
+	}
+	if st := m.Stats(); st.Retries != 1 || st.Breaker.State != "closed" {
+		t.Errorf("stats = %+v, want 1 retry and a closed breaker", st)
+	}
+}
+
+// TestMiddlewareNoRetryOnApplicationError: a non-transient error returns
+// immediately and counts as backend health (the backend answered).
+func TestMiddlewareNoRetryOnApplicationError(t *testing.T) {
+	appErr := errors.New("schema mismatch")
+	inner := &llm.Scripted{Errs: []error{appErr, appErr, appErr}}
+	m := Wrap(inner, fastOpts())
+	_, err := m.Complete(context.Background(), llm.Request{Prompt: "hello"})
+	if !errors.Is(err, appErr) {
+		t.Fatalf("want the application error, got %v", err)
+	}
+	if calls := inner.Calls(); calls != 1 {
+		t.Errorf("backend saw %d calls, want 1 (no retries of application errors)", calls)
+	}
+	if st := m.Stats(); st.Retries != 0 || st.Breaker.ConsecutiveFailures != 0 {
+		t.Errorf("stats = %+v; application errors must not count against the backend", st)
+	}
+}
+
+// TestMiddlewareBreakerFastFail: once the circuit opens, calls fail
+// without touching the backend, and the error is Unavailable.
+func TestMiddlewareBreakerFastFail(t *testing.T) {
+	inner := &llm.Scripted{Errs: []error{
+		llm.ErrTransient, llm.ErrTransient, llm.ErrTransient,
+		llm.ErrTransient, llm.ErrTransient, llm.ErrTransient,
+	}}
+	opts := fastOpts()
+	opts.Breaker = BreakerConfig{FailureThreshold: 2, ProbeInterval: time.Hour}
+	m := Wrap(inner, opts)
+
+	if _, err := m.Complete(context.Background(), llm.Request{Prompt: "hi"}); err == nil {
+		t.Fatal("expected failure against an all-transient backend")
+	}
+	callsAfterFirst := inner.Calls()
+	if callsAfterFirst < 2 {
+		t.Fatalf("breaker tripped after %d attempts, threshold is 2", callsAfterFirst)
+	}
+	_, err := m.Complete(context.Background(), llm.Request{Prompt: "hi"})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen from an open circuit, got %v", err)
+	}
+	if !Unavailable(err) {
+		t.Error("circuit-open error not classified Unavailable")
+	}
+	if inner.Calls() != callsAfterFirst {
+		t.Errorf("open circuit still reached the backend (%d → %d calls)", callsAfterFirst, inner.Calls())
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint <= 0 {
+		t.Errorf("circuit-open error carries no Retry-After hint (%v, %v)", hint, ok)
+	}
+}
+
+// slowClient wedges until its context dies.
+type slowClient struct{}
+
+func (slowClient) Complete(ctx context.Context, _ llm.Request) (llm.Response, error) {
+	<-ctx.Done()
+	return llm.Response{}, ctx.Err()
+}
+func (slowClient) Name() string { return "slow" }
+
+// TestMiddlewareAttemptTimeout: a wedged backend is cut off by the
+// per-class attempt budget and surfaces as a transient failure while the
+// caller's own deadline is untouched.
+func TestMiddlewareAttemptTimeout(t *testing.T) {
+	opts := fastOpts()
+	opts.Retry.MaxAttempts = 1
+	opts.DefaultTimeout = 10 * time.Millisecond
+	m := Wrap(slowClient{}, opts)
+
+	start := time.Now()
+	_, err := m.Complete(context.Background(), llm.Request{Prompt: "hang"})
+	if err == nil {
+		t.Fatal("expected a timeout failure")
+	}
+	if !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("attempt timeout must look transient, got %v", err)
+	}
+	if !Unavailable(err) {
+		t.Error("attempt-timeout error not classified Unavailable")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("attempt took %s against a 10ms budget", elapsed)
+	}
+	if st := m.Stats(); st.AttemptTimeouts != 1 {
+		t.Errorf("stats = %+v, want 1 attempt timeout", st)
+	}
+}
+
+// TestMiddlewareCallerCancellation: when the caller's context dies
+// mid-call, the outcome is discarded from breaker accounting.
+func TestMiddlewareCallerCancellation(t *testing.T) {
+	opts := fastOpts()
+	opts.DefaultTimeout = -1 // no attempt budget: only the caller's deadline
+	m := Wrap(slowClient{}, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := m.Complete(ctx, llm.Request{Prompt: "hang"}); err == nil {
+		t.Fatal("expected failure when the caller dies")
+	}
+	if st := m.Stats(); st.Breaker.ConsecutiveFailures != 0 {
+		t.Errorf("caller-cancelled call counted against the backend: %+v", st)
+	}
+}
+
+// goneError is a transient failure whose Retry-After exceeds any policy
+// patience — the scripted outage shape.
+type goneError struct{ after time.Duration }
+
+func (e *goneError) Error() string             { return "backend down for a while" }
+func (e *goneError) Unwrap() error             { return llm.ErrTransient }
+func (e *goneError) RetryAfter() time.Duration { return e.after }
+
+// TestMiddlewareGivesUpOnLongRetryAfter: a backend announcing a long
+// outage is not retried within the call — the middleware fails fast so
+// the serving layer can degrade, instead of idling out the caller's
+// deadline.
+func TestMiddlewareGivesUpOnLongRetryAfter(t *testing.T) {
+	inner := &llm.Scripted{Errs: []error{&goneError{after: 2 * time.Minute}}}
+	m := Wrap(inner, fastOpts())
+	start := time.Now()
+	_, err := m.Complete(context.Background(), llm.Request{Prompt: "hi"})
+	if err == nil || !Unavailable(err) {
+		t.Fatalf("want an Unavailable failure, got %v", err)
+	}
+	if calls := inner.Calls(); calls != 1 {
+		t.Errorf("backend saw %d calls; a long Retry-After must suppress in-call retries", calls)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("give-up took %s, want immediate", elapsed)
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint != 2*time.Minute {
+		t.Errorf("surfaced error lost the Retry-After hint (%v, %v)", hint, ok)
+	}
+}
+
+// TestMiddlewarePerClassTimeouts: the call class picks its own budget.
+func TestMiddlewarePerClassTimeouts(t *testing.T) {
+	opts := fastOpts()
+	opts.Retry.MaxAttempts = 1
+	opts.DefaultTimeout = time.Hour
+	opts.Timeouts = map[string]time.Duration{"plan": 10 * time.Millisecond}
+	m := Wrap(slowClient{}, opts)
+
+	start := time.Now()
+	_, err := m.Complete(context.Background(), llm.Request{Prompt: llm.TaskPlan + "\nquestion"})
+	if err == nil {
+		t.Fatal("expected the plan-class budget to fire")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("plan call ran %s against a 10ms class budget", elapsed)
+	}
+}
+
+// TestUnavailableClassification pins the degradable error class.
+func TestUnavailableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("wrapped: %w", ErrCircuitOpen), true},
+		{fmt.Errorf("wrapped: %w", llm.ErrTransient), true},
+		{errors.New("invalid plan"), false},
+		{context.DeadlineExceeded, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Unavailable(c.err); got != c.want {
+			t.Errorf("Unavailable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy configures retry behavior. Zero values pick defaults.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry; it doubles
+	// per attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (default 2s).
+	MaxDelay time.Duration
+	// Seed drives the jitter stream, so retry schedules are reproducible
+	// in tests and fault-injection runs.
+	Seed int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// Retrier computes full-jitter exponential backoff waits. The jitter is
+// drawn from a seeded stream so a given retrier produces a reproducible
+// schedule; "full jitter" (uniform in [0, ceiling]) is what decorrelates
+// a thundering herd of retriers hammering a recovering backend.
+type Retrier struct {
+	policy Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a retrier for the policy.
+func NewRetrier(p Policy) *Retrier {
+	p = p.withDefaults()
+	return &Retrier{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// MaxAttempts returns the policy's total attempt budget.
+func (r *Retrier) MaxAttempts() int { return r.policy.MaxAttempts }
+
+// Backoff returns the wait before the next try, given how many attempts
+// have already failed (attempt ≥ 1). The result is uniform in
+// [0, min(BaseDelay·2^(attempt-1), MaxDelay)], floored by hint — the
+// Retry-After-style backend hint (0 = none): a backend that says "come
+// back in 2s" is not probed sooner just because the jitter rolled low.
+func (r *Retrier) Backoff(attempt int, hint time.Duration) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	ceil := r.policy.MaxDelay
+	// Shift only while below the cap: BaseDelay<<k overflows for large k.
+	if shift := attempt - 1; shift < 63 {
+		if d := r.policy.BaseDelay << shift; d > 0 && d < ceil {
+			ceil = d
+		}
+	}
+	r.mu.Lock()
+	wait := time.Duration(r.rng.Int63n(int64(ceil) + 1))
+	r.mu.Unlock()
+	if hint > wait {
+		wait = hint
+	}
+	return wait
+}
+
+// ErrBackendGone is returned by Wait when the backend's Retry-After hint
+// exceeds the policy's MaxDelay: the backend has announced it is down for
+// longer than this call is willing to idle, so retrying inside the call
+// is pointless — fail now and let the serving layer degrade (the hint
+// still propagates to clients as a Retry-After header).
+var ErrBackendGone = errors.New("resilience: backend retry hint exceeds the policy's max delay")
+
+// Wait sleeps the attempt's backoff, never past ctx's deadline. It
+// returns how long it actually waited and a non-nil error when the wait
+// cannot (or should not) happen: the context ended, the backoff does not
+// fit the remaining deadline, or the backend hint exceeds the policy's
+// patience (ErrBackendGone). Callers treat any Wait error as "stop
+// retrying, surface the last real failure".
+func (r *Retrier) Wait(ctx context.Context, attempt int, hint time.Duration) (time.Duration, error) {
+	if hint > r.policy.MaxDelay {
+		return 0, ErrBackendGone
+	}
+	d := r.Backoff(attempt, hint)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, nil
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if time.Until(deadline) < d {
+			// Sleeping on would just convert a retryable failure into a
+			// deadline error after pointless idling; give up immediately so
+			// the caller can fall back while its deadline still has room.
+			return 0, context.DeadlineExceeded
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	start := time.Now()
+	select {
+	case <-t.C:
+		return d, nil
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// retryAfterCarrier is implemented by errors that carry a backend "come
+// back later" hint (injected faults, circuit-open errors, rate limits).
+type retryAfterCarrier interface{ RetryAfter() time.Duration }
+
+// RetryAfterHint extracts a Retry-After-style hint from an error chain
+// (false when the chain carries none).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var c retryAfterCarrier
+	if errors.As(err, &c) {
+		if after := c.RetryAfter(); after > 0 {
+			return after, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffSeededDeterminism pins the reproducibility contract: two
+// retriers built from the same policy produce identical jitter schedules,
+// and a different seed produces a different one.
+func TestBackoffSeededDeterminism(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 500 * time.Millisecond, Seed: 42}
+	a, b := NewRetrier(p), NewRetrier(p)
+	var same []time.Duration
+	for attempt := 1; attempt <= 8; attempt++ {
+		da, db := a.Backoff(attempt, 0), b.Backoff(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same-seed retriers diverged: %s vs %s", attempt, da, db)
+		}
+		same = append(same, da)
+	}
+
+	p.Seed = 43
+	c := NewRetrier(p)
+	diverged := false
+	for attempt := 1; attempt <= 8; attempt++ {
+		if c.Backoff(attempt, 0) != same[attempt-1] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("a different seed produced the identical 8-step schedule")
+	}
+}
+
+// TestBackoffEnvelope checks full jitter stays inside its ceiling — the
+// exponential ramp capped by MaxDelay — and that the ramp actually grows.
+func TestBackoffEnvelope(t *testing.T) {
+	p := Policy{BaseDelay: 8 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Seed: 7}
+	r := NewRetrier(p)
+	for attempt := 1; attempt <= 20; attempt++ {
+		ceil := p.MaxDelay
+		if shift := attempt - 1; shift < 63 {
+			if d := p.BaseDelay << shift; d > 0 && d < ceil {
+				ceil = d
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if d := r.Backoff(attempt, 0); d < 0 || d > ceil {
+				t.Fatalf("attempt %d: backoff %s outside [0, %s]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestBackoffHintFloor: a Retry-After hint floors the draw — the backend
+// is never probed sooner than it asked.
+func TestBackoffHintFloor(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 1})
+	hint := 150 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		if d := r.Backoff(1, hint); d < hint {
+			t.Fatalf("backoff %s undercut the %s Retry-After hint", d, hint)
+		}
+	}
+}
+
+// TestWaitHonorsDeadline: a backoff that cannot fit the remaining
+// deadline fails immediately instead of idling until the context fires.
+func TestWaitHonorsDeadline(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: time.Minute, MaxDelay: time.Minute, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	waited, err := r.Wait(ctx, 1, 45*time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if waited != 0 {
+		t.Errorf("reported %s waited on an immediate give-up", waited)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("give-up took %s; it must not sleep toward the deadline", elapsed)
+	}
+}
+
+// TestWaitBackendGone: a hint beyond MaxDelay means the backend announced
+// an absence longer than the policy's patience — Wait refuses instantly.
+func TestWaitBackendGone(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	_, err := r.Wait(context.Background(), 1, 2*time.Minute)
+	if !errors.Is(err, ErrBackendGone) {
+		t.Fatalf("want ErrBackendGone, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("ErrBackendGone took %s; it must be immediate", elapsed)
+	}
+}
+
+// TestWaitCanceledContext: an already-dead context never sleeps.
+func TestWaitCanceledContext(t *testing.T) {
+	r := NewRetrier(Policy{Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Wait(ctx, 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+// TestRetryAfterHint walks the carrier out of a wrapped chain.
+func TestRetryAfterHint(t *testing.T) {
+	base := &circuitOpenError{after: 1500 * time.Millisecond}
+	wrapped := errorsJoinLike(base)
+	hint, ok := RetryAfterHint(wrapped)
+	if !ok || hint != 1500*time.Millisecond {
+		t.Fatalf("hint = %s, %v; want 1.5s, true", hint, ok)
+	}
+	if _, ok := RetryAfterHint(errors.New("plain")); ok {
+		t.Error("plain error reported a Retry-After hint")
+	}
+}
+
+func errorsJoinLike(err error) error {
+	return &wrapErr{err}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }

@@ -160,6 +160,28 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	return &out, nil
 }
 
+// Faults fetches the /faults injector state. Servers started without the
+// chaos endpoint (no -fault-endpoint) answer 404, which surfaces here as
+// an error — chaos scenarios turn that into a clear setup failure.
+func (c *Client) Faults(ctx context.Context) (*server.FaultStateResponse, error) {
+	var out server.FaultStateResponse
+	if _, err := c.do(ctx, http.MethodGet, "/faults", nil, &out, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SetFaults posts a fault-control request (activate a spec, clear
+// injection, purge the LLM cache) and returns the resulting injector
+// state.
+func (c *Client) SetFaults(ctx context.Context, req server.FaultControlRequest) (*server.FaultStateResponse, error) {
+	var out server.FaultStateResponse
+	if _, err := c.do(ctx, http.MethodPost, "/faults", req, &out, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Healthz fetches the /healthz snapshot as a generic map.
 func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
 	var out map[string]any

@@ -89,9 +89,30 @@ func Mixes() []Mix {
 	}
 }
 
-// MixByName resolves one of the standard mixes.
+// ChaosMix is the fault-injection blend: chaos scenarios scripting the
+// injector under background read traffic. It is not part of Mixes()
+// because it needs an arynd started with -fault-endpoint; run it
+// explicitly with `arynload -mixes chaos` (the CI chaos job does). The
+// error-rate SLO is the degradation contract itself: injected faults must
+// degrade or shed, never fail a request.
+func ChaosMix() Mix {
+	return Mix{
+		Name:        "chaos",
+		Description: "Fault injection under load: scripted LLM outages, a sustained flaky backend, cache kills, and saturated ingest on top of steady reads — the mix that must degrade, never 500",
+		Weights: map[string]int{
+			"chaos-llm-outage":        1,
+			"chaos-flaky-backend":     2,
+			"chaos-cache-kill":        1,
+			"chaos-ingest-saturation": 1,
+			"query-oneshot":           3,
+		},
+		SLO: SLO{P99: 10 * time.Second, MaxShedRate: 1.0, MaxErrorRate: 0},
+	}
+}
+
+// MixByName resolves one of the standard mixes, or the opt-in chaos mix.
 func MixByName(name string) (Mix, bool) {
-	for _, m := range Mixes() {
+	for _, m := range append(Mixes(), ChaosMix()) {
 		if m.Name == name {
 			return m, true
 		}

@@ -9,21 +9,36 @@ import (
 	"time"
 
 	"aryn/internal/core"
+	"aryn/internal/fault"
+	"aryn/internal/resilience"
 	"aryn/internal/server"
 )
 
 // sharedSys is one system per test binary, ingested lazily by the
 // scenarios' own Setup stages (ensureCorpus); tests layer their own
-// server configs over it.
+// server configs over it. It carries an inactive fault injector and the
+// resilience middleware (short probe interval) so the chaos scenarios run
+// in the suite without slowing their recovery checks; with no spec active
+// the injector injects nothing and every other scenario behaves as before.
 var (
 	sharedOnce sync.Once
 	sharedSys  *core.System
+	sharedInj  *fault.Injector
 )
 
 func testSystem(t *testing.T) *core.System {
 	t.Helper()
 	sharedOnce.Do(func() {
-		sharedSys = core.New(core.Config{Seed: 7, Parallelism: 4})
+		sharedInj = fault.New(fault.Spec{})
+		sharedSys = core.New(core.Config{
+			Seed:        7,
+			Parallelism: 4,
+			Fault:       sharedInj,
+			Resilience: &resilience.Options{
+				Retry:   resilience.Policy{BaseDelay: 5 * time.Millisecond, MaxDelay: 40 * time.Millisecond},
+				Breaker: resilience.BreakerConfig{ProbeInterval: 150 * time.Millisecond},
+			},
+		})
 	})
 	return sharedSys
 }
@@ -32,7 +47,9 @@ func testSystem(t *testing.T) *core.System {
 // client sized for -short runs.
 func newHarness(t *testing.T, cfg server.Config, params Params) (*Client, *recorder) {
 	t.Helper()
-	srv := server.New(testSystem(t), cfg)
+	sys := testSystem(t)
+	cfg.Fault = sharedInj
+	srv := server.New(sys, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -54,7 +71,7 @@ func shortParams() Params {
 // CI".
 func TestEveryRegisteredScenario(t *testing.T) {
 	all := All()
-	if len(all) < 6 {
+	if len(all) < 10 {
 		t.Fatalf("registry has %d scenarios, expected the full built-in set", len(all))
 	}
 	c, rec := newHarness(t, server.Config{}, shortParams())
@@ -93,6 +110,8 @@ func TestScenariosAreSelfDescribing(t *testing.T) {
 	for _, want := range []string{
 		"ingest-multi-corpus", "plan-edit-roundtrip", "explain-analyze",
 		"chat-session", "chat-expiry", "overload-shed", "query-oneshot",
+		"chaos-llm-outage", "chaos-flaky-backend", "chaos-cache-kill",
+		"chaos-ingest-saturation",
 	} {
 		if _, ok := Get(want); !ok {
 			t.Errorf("built-in scenario %q missing from the registry", want)

@@ -13,9 +13,11 @@ import (
 	"time"
 
 	"aryn/internal/core"
+	"aryn/internal/fault"
 	"aryn/internal/llm"
 	"aryn/internal/luna"
 	"aryn/internal/ntsb"
+	"aryn/internal/resilience"
 )
 
 // Config tunes the serving layer. Zero values pick sane defaults.
@@ -32,7 +34,9 @@ type Config struct {
 	SessionTTL time.Duration
 	// MaxSessions caps live chat sessions (default 1024).
 	MaxSessions int
-	// RequestTimeout bounds one query/chat execution (default 60s).
+	// RequestTimeout bounds one query/chat execution (0 picks the 60s
+	// default; negative disables the bound entirely — arynd's
+	// -query-timeout 0).
 	RequestTimeout time.Duration
 	// IngestTimeout bounds one ingest run (default 10m).
 	IngestTimeout time.Duration
@@ -44,6 +48,10 @@ type Config struct {
 	MaxIngestBodyBytes int64
 	// MaxBodyBytes caps every other request body (default 1 MiB).
 	MaxBodyBytes int64
+	// Fault, when set, exposes the dev-only /faults endpoint controlling
+	// the injector (wire the same injector into core.Config.Fault). Leave
+	// nil in production deployments: the route is simply absent.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -62,7 +70,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
-	if c.RequestTimeout <= 0 {
+	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
 	if c.IngestTimeout <= 0 {
@@ -96,6 +104,9 @@ type Server struct {
 
 	traceSeq atomic.Uint64
 	requests atomic.Int64
+	// degradedServed counts 200s answered retrieval-only because the model
+	// backend was unavailable.
+	degradedServed atomic.Int64
 }
 
 // New wraps sys in a serving layer.
@@ -110,7 +121,11 @@ func New(sys *core.System, cfg Config) *Server {
 		start:     time.Now(),
 		endpoints: map[string]*endpointCounters{},
 	}
-	for _, route := range []string{"/healthz", "/stats", "/ingest", "/plan", "/query", "/chat"} {
+	routes := []string{"/healthz", "/stats", "/ingest", "/plan", "/query", "/chat"}
+	if cfg.Fault != nil {
+		routes = append(routes, "/faults")
+	}
+	for _, route := range routes {
 		s.endpoints[route] = &endpointCounters{}
 	}
 	s.mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
@@ -119,6 +134,12 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("POST /plan", s.counted("/plan", s.gated(s.handlePlan)))
 	s.mux.HandleFunc("POST /query", s.counted("/query", s.gated(s.handleQuery)))
 	s.mux.HandleFunc("POST /chat", s.counted("/chat", s.gated(s.handleChat)))
+	if cfg.Fault != nil {
+		// Dev-only chaos control plane: not gated (a saturated or faulted
+		// server must still accept "clear the faults").
+		s.mux.HandleFunc("GET /faults", s.counted("/faults", s.handleFaultsGet))
+		s.mux.HandleFunc("POST /faults", s.counted("/faults", s.handleFaultsPost))
+	}
 	return s
 }
 
@@ -135,6 +156,15 @@ func (s *Server) Handler() http.Handler {
 
 // Close stops background work (the session janitor).
 func (s *Server) Close() { s.sessions.close() }
+
+// workCtx bounds one query/chat execution by RequestTimeout; a negative
+// timeout means unlimited (the work still dies with the client).
+func (s *Server) workCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout < 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
 
 // gated wraps a work handler with admission control: shed with 429 +
 // Retry-After when saturated, and bound the request context so a stuck
@@ -222,6 +252,12 @@ type QueryResponse struct {
 	Plan     *PlanDetail     `json:"plan,omitempty"`
 	LLM      *llm.StackStats `json:"llm,omitempty"`
 	WallMS   int64           `json:"wall_ms"`
+	// Degraded marks a retrieval-only fallback answer served because the
+	// model backend was unavailable (circuit open or retries exhausted);
+	// DegradedReason says why. The request still succeeded (200) — the
+	// degradation contract is "a worse answer, never a 500".
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // PlanRequest plans a question — or dry-runs an edited plan — without
@@ -263,20 +299,36 @@ type ChatResponse struct {
 	Answer string `json:"answer"`
 	Kind   string `json:"kind,omitempty"`
 	WallMS int64  `json:"wall_ms"`
+	// Degraded/DegradedReason mirror QueryResponse: a retrieval-only
+	// fallback turn (not recorded in the conversation history — follow-ups
+	// never resolve against a degraded answer).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // StatsResponse is the /stats snapshot.
 type StatsResponse struct {
-	TraceID  string         `json:"trace_id"`
-	UptimeMS int64          `json:"uptime_ms"`
-	Requests int64          `json:"requests"`
-	Ready    bool           `json:"ready"`
-	Docs     int            `json:"docs"`
-	Chunks   int            `json:"chunks"`
-	Usage    llm.Usage      `json:"usage"`
-	LLM      llm.StackStats `json:"llm"`
-	Gate     gateStats      `json:"admission"`
-	Sessions sessionStats   `json:"sessions"`
+	TraceID  string    `json:"trace_id"`
+	UptimeMS int64     `json:"uptime_ms"`
+	Requests int64     `json:"requests"`
+	Ready    bool      `json:"ready"`
+	Docs     int       `json:"docs"`
+	Chunks   int       `json:"chunks"`
+	Usage    llm.Usage `json:"usage"`
+	// UsageFailed is spend carried by calls that ultimately errored
+	// (retry storms, injected faults) — kept out of Usage so delivered
+	// answers' accounting stays honest.
+	UsageFailed llm.Usage      `json:"usage_failed"`
+	LLM         llm.StackStats `json:"llm"`
+	Gate        gateStats      `json:"admission"`
+	Sessions    sessionStats   `json:"sessions"`
+	// Resilience reports the retry/breaker middleware (nil when the system
+	// was built without it); Fault reports the chaos injector (nil when
+	// not wired). Degraded/DegradedServed summarize degraded-mode serving.
+	Resilience     *resilience.Stats `json:"resilience,omitempty"`
+	Fault          *fault.Stats      `json:"fault,omitempty"`
+	Degraded       bool              `json:"degraded"`
+	DegradedServed int64             `json:"degraded_served"`
 	// Endpoints breaks the traffic down per route: request counts by
 	// outcome class (ok / client error / server error / shed) plus
 	// cumulative and max handler latency — the server-side counters the
@@ -300,14 +352,31 @@ type errorResponse struct {
 
 // ---- handlers ----
 
+// handleHealthz distinguishes three conditions: live (the process answers
+// at all — implied by any response), ready (data is ingested and queries
+// can run), and degraded (serving continues but the model backend is
+// unavailable, so answers fall back to retrieval-only). Status stays 200
+// even when degraded: a degraded server is still serving, and restarting
+// it (what a non-200 health check triggers) would not fix the backend.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	degraded, reason := s.sys.Degraded()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	resp := map[string]any{
+		"status":   status,
+		"live":     true,
 		"ready":    s.sys.Ready(),
+		"degraded": degraded,
 		"docs":     s.sys.Store.NumDocs(),
 		"chunks":   s.sys.Store.NumChunks(),
 		"trace_id": traceFrom(r.Context()),
-	})
+	}
+	if reason != "" {
+		resp["reason"] = reason
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -315,19 +384,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for route, ep := range s.endpoints {
 		endpoints[route] = ep.snapshot()
 	}
-	s.writeJSON(w, http.StatusOK, StatsResponse{
-		TraceID:   traceFrom(r.Context()),
-		UptimeMS:  time.Since(s.start).Milliseconds(),
-		Requests:  s.requests.Load(),
-		Ready:     s.sys.Ready(),
-		Docs:      s.sys.Store.NumDocs(),
-		Chunks:    s.sys.Store.NumChunks(),
-		Usage:     s.sys.LLM.Usage(),
-		LLM:       s.sys.LLMStats(),
-		Gate:      s.gate.stats(),
-		Sessions:  sessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
-		Endpoints: endpoints,
-	})
+	degraded, _ := s.sys.Degraded()
+	resp := StatsResponse{
+		TraceID:        traceFrom(r.Context()),
+		UptimeMS:       time.Since(s.start).Milliseconds(),
+		Requests:       s.requests.Load(),
+		Ready:          s.sys.Ready(),
+		Docs:           s.sys.Store.NumDocs(),
+		Chunks:         s.sys.Store.NumChunks(),
+		Usage:          s.sys.LLM.Usage(),
+		UsageFailed:    s.sys.LLM.FailedUsage(),
+		LLM:            s.sys.LLMStats(),
+		Gate:           s.gate.stats(),
+		Sessions:       sessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
+		Degraded:       degraded,
+		DegradedServed: s.degradedServed.Load(),
+		Endpoints:      endpoints,
+	}
+	if s.sys.Resilience != nil {
+		st := s.sys.Resilience.Stats()
+		resp.Resilience = &st
+	}
+	if s.sys.Fault != nil {
+		st := s.sys.Fault.Stats()
+		resp.Fault = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -353,7 +435,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stats, err := s.sys.Ingest(ctx, blobs)
 	if err != nil {
-		s.writeError(w, r, http.StatusInternalServerError, err)
+		// statusOf separates backend unavailability (503, retryable — the
+		// chaos suite asserts exhausted stage retries never surface as a
+		// 500) from real internal failures.
+		s.writeError(w, r, statusOf(err), err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, IngestResponse{
@@ -419,7 +504,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusConflict, fmt.Errorf("no data ingested yet"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := s.workCtx(r)
 	defer cancel()
 	start := time.Now()
 	svc := s.sys.QueryService()
@@ -522,6 +607,38 @@ func planDetail(original, rewritten *luna.LogicalPlan, compiled string) PlanDeta
 	return d
 }
 
+// maybeDegrade serves the degradation contract for /query: when err means
+// "the model backend is unavailable" (circuit open or transient failures
+// exhausted) and the client is still there, answer 200 with a
+// retrieval-only fallback tagged degraded instead of a 5xx. res, when
+// non-nil, is the partial result of the failed execution; with includePlan
+// its plan detail (including per-node error annotations in "executed")
+// rides along for drill-down. Returns true when it wrote the response.
+func (s *Server) maybeDegrade(w http.ResponseWriter, r *http.Request, question string, includePlan bool, res *luna.Result, err error, start time.Time) bool {
+	if !resilience.Unavailable(err) || r.Context().Err() != nil {
+		return false
+	}
+	answer, docs := s.sys.RetrievalOnly(question, 5)
+	out := QueryResponse{
+		TraceID:        traceFrom(r.Context()),
+		Question:       question,
+		Answer:         answer,
+		Kind:           "retrieval-only",
+		Docs:           docs,
+		Degraded:       true,
+		DegradedReason: err.Error(),
+		WallMS:         time.Since(start).Milliseconds(),
+	}
+	if includePlan && res != nil {
+		d := planDetail(res.Plan, res.Rewritten, res.Compiled)
+		d.Executed = executedPlan(res)
+		out.Plan = &d
+	}
+	s.degradedServed.Add(1)
+	s.writeJSON(w, http.StatusOK, out)
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
@@ -535,7 +652,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusConflict, fmt.Errorf("no data ingested yet"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := s.workCtx(r)
 	defer cancel()
 	start := time.Now()
 
@@ -554,6 +671,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := s.sys.QueryService().RunPlan(ctx, question, plan)
 		if err != nil {
+			if s.maybeDegrade(w, r, question, req.IncludePlan, res, err, start) {
+				return
+			}
 			s.writeError(w, r, statusOf(err), err)
 			return
 		}
@@ -577,6 +697,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.RAG {
 		resp, err := s.sys.AskRAG(ctx, req.Question)
 		if err != nil {
+			if s.maybeDegrade(w, r, req.Question, false, nil, err, start) {
+				return
+			}
 			s.writeError(w, r, statusOf(err), err)
 			return
 		}
@@ -597,6 +720,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.sys.QueryService().Ask(ctx, req.Question)
 	if err != nil {
+		if s.maybeDegrade(w, r, req.Question, req.IncludePlan, res, err, start) {
+			return
+		}
 		s.writeError(w, r, statusOf(err), err)
 		return
 	}
@@ -648,7 +774,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := s.workCtx(r)
 	defer cancel()
 	start := time.Now()
 	// One exchange = Ask plus the turn read, under the session lock so a
@@ -658,6 +784,25 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	turn := sess.conv.Turns()
 	sess.mu.Unlock()
 	if err != nil {
+		if resilience.Unavailable(err) && r.Context().Err() == nil {
+			// Degrade the turn instead of 500ing. The session survives —
+			// the client gets its ID and keeps its history; the failed turn
+			// is not recorded, so follow-ups resolve against the last good
+			// answer once the backend recovers.
+			answer, _ := s.sys.RetrievalOnly(req.Question, 5)
+			s.degradedServed.Add(1)
+			s.writeJSON(w, http.StatusOK, ChatResponse{
+				TraceID:        traceFrom(r.Context()),
+				SessionID:      sess.id,
+				Turn:           turn,
+				Answer:         answer,
+				Kind:           "retrieval-only",
+				Degraded:       true,
+				DegradedReason: err.Error(),
+				WallMS:         time.Since(start).Milliseconds(),
+			})
+			return
+		}
 		if fresh {
 			// The client never learned this session's ID; drop it rather
 			// than leak a MaxSessions slot until TTL eviction.
@@ -676,18 +821,81 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ---- fault control (dev-only chaos API) ----
+
+// FaultControlRequest mutates the fault injector: activate a spec, clear
+// all faults, and/or purge the LLM response cache (the cache-killed
+// chaos move). Spec and Clear are mutually exclusive; Clear wins.
+type FaultControlRequest struct {
+	// Spec activates a new fault spec (replacing the current one; outage
+	// windows re-anchor to now).
+	Spec *fault.Spec `json:"spec,omitempty"`
+	// Clear deactivates all fault injection.
+	Clear bool `json:"clear,omitempty"`
+	// PurgeLLMCache drops every resident LLM response-cache entry.
+	PurgeLLMCache bool `json:"purge_llm_cache,omitempty"`
+}
+
+// FaultStateResponse reports the injector state after a control request
+// (and on GET).
+type FaultStateResponse struct {
+	TraceID string      `json:"trace_id"`
+	Spec    fault.Spec  `json:"spec"`
+	Active  bool        `json:"active"`
+	Stats   fault.Stats `json:"stats"`
+	// PurgedCacheEntries reports how many cache entries a purge dropped.
+	PurgedCacheEntries int `json:"purged_cache_entries,omitempty"`
+}
+
+func (s *Server) faultState(r *http.Request, purged int) FaultStateResponse {
+	spec := s.cfg.Fault.Spec()
+	return FaultStateResponse{
+		TraceID:            traceFrom(r.Context()),
+		Spec:               spec,
+		Active:             spec.Active(),
+		Stats:              s.cfg.Fault.Stats(),
+		PurgedCacheEntries: purged,
+	}
+}
+
+func (s *Server) handleFaultsGet(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.faultState(r, 0))
+}
+
+func (s *Server) handleFaultsPost(w http.ResponseWriter, r *http.Request) {
+	var req FaultControlRequest
+	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	switch {
+	case req.Clear:
+		s.cfg.Fault.Clear()
+	case req.Spec != nil:
+		s.cfg.Fault.Set(*req.Spec)
+	}
+	purged := 0
+	if req.PurgeLLMCache {
+		purged = s.sys.PurgeLLMCache()
+	}
+	s.writeJSON(w, http.StatusOK, s.faultState(r, purged))
+}
+
 // ---- plumbing ----
 
 // statusOf maps execution errors to HTTP statuses: invalid plans are the
 // client's input failing to validate (400, with every node-level problem
-// listed in the structured errors array), a deadline hit is 504,
-// everything else is a server fault.
+// listed in the structured errors array), backend unavailability that
+// could not be degraded is 503 (with Retry-After when the breaker knows
+// its probe time), a deadline hit is 504, everything else is a server
+// fault.
 func statusOf(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
 	case errors.Is(err, luna.ErrInvalidPlan):
 		return http.StatusBadRequest
+	case resilience.Unavailable(err):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:
@@ -723,6 +931,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if after, ok := resilience.RetryAfterHint(err); ok {
+		// Propagate the backend's "come back later" hint (circuit probe
+		// time, injected Retry-After) so well-behaved clients pace
+		// themselves instead of hammering a recovering backend.
+		secs := int(after / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	resp := errorResponse{Error: err.Error(), TraceID: traceFrom(r.Context())}
 	if errors.Is(err, luna.ErrInvalidPlan) {
 		// errors.Join aggregates node-level validation failures; the

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Chaos gate, run by `make chaos` and the CI chaos job: build arynd +
+# arynload, boot arynd with the /faults chaos endpoint enabled, and drive
+# the opt-in chaos mix — scripted LLM outages, flaky backends, cache
+# kills, and ingest saturation — against it. The mix's SLO encodes the
+# degradation contract (zero failed requests: degraded 200s, never 500s),
+# so an SLO violation fails the run. Methodology: docs/fault-injection.md.
+#
+# Knobs (environment):
+#   ARYNLOAD_ADDR    host:port to serve on   (default 127.0.0.1:8247)
+#   CHAOS_DOCS       corpus size             (default 48)
+#   CHAOS_QPS        launch rate             (default 15)
+#   CHAOS_DURATION   load duration           (default 8s)
+#   CHAOS_OUT        output JSON             (default BENCH_chaos.json)
+#   CHAOS_LABEL      results label           (default after)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${ARYNLOAD_ADDR:-127.0.0.1:8247}"
+BASE="http://$ADDR"
+DOCS="${CHAOS_DOCS:-48}"
+QPS="${CHAOS_QPS:-15}"
+DURATION="${CHAOS_DURATION:-8s}"
+OUT="${CHAOS_OUT:-BENCH_chaos.json}"
+LABEL="${CHAOS_LABEL:-after}"
+
+BINDIR="$(mktemp -d)"
+LOG="$(mktemp)"
+
+cleanup() {
+  status=$?
+  if [ -n "${ARYND_PID:-}" ] && kill -0 "$ARYND_PID" 2>/dev/null; then
+    kill "$ARYND_PID" 2>/dev/null || true
+    wait "$ARYND_PID" 2>/dev/null || true
+  fi
+  if [ "$status" -ne 0 ]; then
+    echo "--- arynd log ---" >&2
+    cat "$LOG" >&2 || true
+  fi
+  rm -f "$LOG"
+  rm -rf "$BINDIR"
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "chaos: building arynd and arynload..."
+go build -o "$BINDIR/arynd" ./cmd/arynd
+go build -o "$BINDIR/arynload" ./cmd/arynload
+
+echo "chaos: starting arynd on $ADDR ($DOCS docs, /faults enabled)..."
+"$BINDIR/arynd" -addr "$ADDR" -docs "$DOCS" -fault-endpoint >"$LOG" 2>&1 &
+ARYND_PID=$!
+
+# Wait for the health endpoint (up to ~15s; corpus ingest happens at boot).
+for i in $(seq 1 150); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$ARYND_PID" 2>/dev/null; then
+    echo "chaos: arynd died during startup" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "chaos: driving the chaos mix at $QPS qps for $DURATION..."
+"$BINDIR/arynload" -addr "$BASE" -mixes chaos \
+  -qps "$QPS" -duration "$DURATION" \
+  -out "$OUT" -label "$LABEL" -slo=true
+
+echo "chaos: degradation contract held; report written to $OUT (label \"$LABEL\")"
