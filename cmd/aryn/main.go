@@ -8,6 +8,7 @@
 //
 //	aryn -docs 100 -q "How many incidents were there by state?" -show-plan -show-trace
 //	aryn -q "..." -explain            # EXPLAIN ANALYZE: per-node runtime metrics
+//	aryn -q "..." -stream              # print partial batches as the pipeline emits them
 //	aryn -docs 100 -interactive        # conversational session with follow-ups
 //	aryn -demo schema                  # print the extracted Table 3 schema
 //	aryn -rag -q "..."                 # answer via the RAG baseline instead
@@ -20,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"aryn/internal/core"
+	"aryn/internal/docmodel"
 	"aryn/internal/luna"
 	"aryn/internal/ntsb"
 )
@@ -38,21 +41,23 @@ func main() {
 		explain     = flag.Bool("explain", false, "print EXPLAIN ANALYZE: the executed plan annotated with per-node runtime metrics")
 		showDocs    = flag.Bool("show-docs", false, "print result documents (drill-down)")
 		useRAG      = flag.Bool("rag", false, "answer with the RAG baseline instead of Luna")
+		stream      = flag.Bool("stream", false, "stream the answer: print partial result batches as the pipeline emits them, then the final result")
 		demo        = flag.String("demo", "", "demo mode: 'schema' prints the extracted schema (Table 3)")
 		parallelism = flag.Int("parallelism", 8, "Sycamore stage parallelism")
 	)
 	flag.Parse()
 
-	show := display{plan: *showPlan, trace: *showTrace, docs: *showDocs, explain: *explain}
+	show := display{plan: *showPlan, trace: *showTrace, docs: *showDocs, explain: *explain, stream: *stream}
 	if err := run(*nDocs, *seed, *sysSeed, *parallelism, *question, *demo, *interactive, show, *useRAG); err != nil {
 		fmt.Fprintln(os.Stderr, "aryn:", err)
 		os.Exit(1)
 	}
 }
 
-// display selects which views of a result the CLI prints.
+// display selects which views of a result the CLI prints, and whether
+// execution streams partial batches to the terminal as they arrive.
 type display struct {
-	plan, trace, docs, explain bool
+	plan, trace, docs, explain, stream bool
 }
 
 func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string, interactive bool, show display, useRAG bool) error {
@@ -100,12 +105,42 @@ func answer(ctx context.Context, sys *core.System, q string, show display, useRA
 		fmt.Printf("RAG (k=%d, %d chunks, %d poisoned):\n%s\n", sys.RAG.K, resp.Retrieved, resp.PoisonedChunks, resp.Text)
 		return nil
 	}
-	res, err := sys.Ask(ctx, q)
+	res, err := ask(ctx, sys, q, show)
 	if err != nil {
 		return err
 	}
 	printResult(res, show)
 	return nil
+}
+
+// ask answers one question, either in batch mode or — with -stream —
+// over the pipelined execution path, narrating partial batches with
+// their arrival offsets so time-to-first-result is visible at the
+// terminal. Both paths return the same final Result.
+func ask(ctx context.Context, sys *core.System, q string, show display) (*luna.Result, error) {
+	if !show.stream {
+		return sys.Ask(ctx, q)
+	}
+	svc := sys.QueryService()
+	if svc == nil {
+		return nil, fmt.Errorf("system is not ready to answer queries")
+	}
+	start := time.Now()
+	var batches, docs int
+	res, err := svc.AskStream(ctx, q, luna.StreamHooks{
+		OnPartial: func(part []*docmodel.Document) {
+			batches++
+			docs += len(part)
+			fmt.Printf("  [+%8s] partial batch %d: %d doc(s), %d total\n",
+				time.Since(start).Round(time.Millisecond), batches, len(part), docs)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("  [+%8s] stream complete: %d partial batch(es), %d doc(s)\n",
+		time.Since(start).Round(time.Millisecond), batches, docs)
+	return res, nil
 }
 
 func printResult(res *luna.Result, show display) {
@@ -152,7 +187,7 @@ func repl(ctx context.Context, sys *core.System, show display) error {
 		case "q", "quit", "exit":
 			return nil
 		}
-		res, err := sys.Ask(ctx, q)
+		res, err := ask(ctx, sys, q, show)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue

@@ -18,6 +18,11 @@
 //
 //	curl -s -X POST localhost:8088/plan  -d '{"question":"How many incidents were there?"}'
 //	curl -s -X POST localhost:8088/query -d '{"plan":{"nodes":[{"id":"n1","op":"queryDatabase"},{"id":"n2","op":"count","inputs":["n1"]}],"output":"n2"}}'
+//
+// Canonical routes live under /v1 (the unprefixed spellings are
+// deprecated aliases). "Accept: text/event-stream" on POST /v1/query
+// streams partial results over SSE, and POST /v1/ingest runs ingest as
+// an async job — see docs/streaming-api.md for the wire contract.
 package main
 
 import (
@@ -53,18 +58,26 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "idle chat session eviction TTL")
 		maxSessions = flag.Int("max-sessions", 1024, "max live chat sessions")
 		qryTimeout  = flag.Duration("query-timeout", 60*time.Second, "per-query/chat execution deadline (0 = unlimited)")
+		heartbeat   = flag.Duration("stream-heartbeat", 10*time.Second, "SSE heartbeat cadence on streamed responses")
+		progress    = flag.Duration("stream-progress", 250*time.Millisecond, "SSE progress-snapshot cadence on streamed responses")
+		jobTTL      = flag.Duration("job-ttl", 10*time.Minute, "how long terminal ingest jobs stay pollable before reaping")
+		maxJobs     = flag.Int("max-queued-jobs", 4, "max ingest jobs waiting for the worker before shedding 429s")
 		faultSpec   = flag.String("fault-spec", "", "activate this JSON fault spec at boot (implies -fault-endpoint; see docs/fault-injection.md)")
 		faultEP     = flag.Bool("fault-endpoint", false, "expose the dev-only /faults chaos-control endpoint")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		MaxInFlight:    *maxInFlight,
-		MaxWaiters:     *maxWaiters,
-		QueueWait:      *queueWait,
-		SessionTTL:     *sessionTTL,
-		MaxSessions:    *maxSessions,
-		RequestTimeout: *qryTimeout,
+		MaxInFlight:     *maxInFlight,
+		MaxWaiters:      *maxWaiters,
+		QueueWait:       *queueWait,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
+		RequestTimeout:  *qryTimeout,
+		StreamHeartbeat: *heartbeat,
+		StreamProgress:  *progress,
+		JobTTL:          *jobTTL,
+		MaxQueuedJobs:   *maxJobs,
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = -1 // 0 on the flag means unlimited

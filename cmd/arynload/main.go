@@ -53,8 +53,12 @@ func listScenarios() {
 	fmt.Println("\nMIXES (weights → SLO):")
 	for _, m := range append(scenario.Mixes(), scenario.ChaosMix()) {
 		fmt.Printf("  %-16s %s\n", m.Name, m.Description)
-		fmt.Printf("  %-16s weights %v, SLO p99 ≤ %s, shed ≤ %.0f%%, errors ≤ %.1f%%\n",
-			"", m.Weights, m.SLO.P99, m.SLO.MaxShedRate*100, m.SLO.MaxErrorRate*100)
+		slo := fmt.Sprintf("SLO p99 ≤ %s, shed ≤ %.0f%%, errors ≤ %.1f%%",
+			m.SLO.P99, m.SLO.MaxShedRate*100, m.SLO.MaxErrorRate*100)
+		if m.SLO.TTFE > 0 {
+			slo += fmt.Sprintf(", TTFE p95 ≤ %s", m.SLO.TTFE)
+		}
+		fmt.Printf("  %-16s weights %v, %s\n", "", m.Weights, slo)
 	}
 	fmt.Println("\nThe chaos mix is opt-in (-mixes chaos) and needs an arynd started with -fault-endpoint.")
 }
@@ -153,6 +157,11 @@ func printReport(r *scenario.Report) {
 		r.P50MS, r.P95MS, r.P99MS, r.MaxMS,
 		r.ShedRate*100, r.ErrorRate*100,
 		r.CacheHitRate*100, r.CacheHits, r.CacheHits+r.CacheMisses)
+	if r.StreamRequests > 0 {
+		fmt.Fprintf(os.Stderr,
+			"arynload:   streamed %d requests | time-to-first-event p50 %.1fms p95 %.1fms max %.1fms\n",
+			r.StreamRequests, r.TTFEP50MS, r.TTFEP95MS, r.TTFEMaxMS)
+	}
 }
 
 // benchFile mirrors the BENCH_retrieval.json layout: results keyed by

@@ -53,6 +53,13 @@ type Config struct {
 	// hooks docset stage attempts — the chaos-testing seam. The injector
 	// stays inert until a spec is activated, so wiring it costs nothing.
 	Fault *fault.Injector
+	// StreamBatch sets how many documents streaming edges accumulate per
+	// batch (0 = docset default). Smaller batches lower time-to-first-
+	// result on streamed queries at the cost of more channel handoffs.
+	StreamBatch int
+	// StreamBuffer sets the bounded depth, in batches, of streaming task
+	// edges (0 = docset default).
+	StreamBuffer int
 }
 
 // System is a fully wired Aryn instance.
@@ -155,6 +162,12 @@ func New(cfg Config) *System {
 	if cfg.Fault != nil {
 		ecOpts = append(ecOpts, docset.WithFaultHook(cfg.Fault.Hook))
 	}
+	if cfg.StreamBatch > 0 {
+		ecOpts = append(ecOpts, docset.WithStreamBatch(cfg.StreamBatch))
+	}
+	if cfg.StreamBuffer > 0 {
+		ecOpts = append(ecOpts, docset.WithStreamBuffer(cfg.StreamBuffer))
+	}
 	s := &System{
 		Config:     cfg,
 		Sim:        sim,
@@ -215,11 +228,27 @@ type IngestStats struct {
 // index the parent documents, then explode, embed, and index the chunks.
 // It finishes by inferring the query schema and wiring Luna.
 func (s *System) Ingest(ctx context.Context, blobs map[string][]byte) (*IngestStats, error) {
+	return s.IngestObserved(ctx, blobs, nil)
+}
+
+// IngestObserved is Ingest with a live trace sink: sink (when non-nil)
+// receives the pipeline's *docset.Trace before execution starts, so
+// callers — the async ingest-job API — can poll per-stage progress
+// snapshots while the run is in flight. Queries keep serving from the
+// last prepared snapshot throughout; the new data becomes visible only
+// at the final Prepare swap.
+func (s *System) IngestObserved(ctx context.Context, blobs map[string][]byte, sink func(*docset.Trace)) (*IngestStats, error) {
 	start := time.Now()
 	before := s.LLM.Usage()
 	llmBefore := s.Stack.StackStats()
 
-	ds := docset.ReadBinary(s.EC, blobs).
+	ec := s.EC
+	if sink != nil {
+		scoped := *s.EC
+		scoped.TraceSink = sink
+		ec = &scoped
+	}
+	ds := docset.ReadBinary(ec, blobs).
 		Partition(s.Parser).
 		LLMExtract(ExtractionSchema()).
 		Map("deriveFields", deriveFields).

@@ -37,6 +37,21 @@ type Context struct {
 	// the operator name — the chaos-testing seam that lets a fault
 	// injector fail or slow ingest/index paths that never touch the LLM.
 	FaultHook func(op string) error
+	// StreamBatch is how many documents a streaming edge accumulates
+	// before handing a batch downstream (Task.StartStream) or to an
+	// ExecuteStream sink (default 8). Smaller batches lower time to first
+	// result; larger ones amortize channel and HTTP flush overhead.
+	StreamBatch int
+	// StreamBuffer is the bounded depth, in batches, of a streaming task
+	// edge's channel (default 2). It caps how far a producer can run
+	// ahead of a slow consumer before backpressure pauses it.
+	StreamBuffer int
+	// TraceSink, when set, observes every pipeline trace the moment its
+	// skeleton exists — before execution starts — so callers can poll
+	// live per-operator progress (NodeTrace.Snapshot) while the plan
+	// runs. The Luna executor installs it per query scope to drive SSE
+	// progress events.
+	TraceSink func(*Trace)
 
 	// callCtx is the context the current stage attempt runs under. Stage
 	// runners install it (per attempt for map stages, per plan for
@@ -51,6 +66,30 @@ type Context struct {
 	// shares between sessions. Nil means per-stage parallelism only (the
 	// historical contract for direct docset users).
 	budget *workerBudget
+
+	// nt is the trace node of the stage this context view executes
+	// (installed by forStage), so stage bodies — notably streaming-edge
+	// sources — can record activity the generic runners cannot see, like
+	// per-batch arrivals.
+	nt *NodeTrace
+}
+
+// streamBatchSize returns the effective streaming batch size (contexts
+// built without NewContext fall back to the default).
+func (c *Context) streamBatchSize() int {
+	if c.StreamBatch > 0 {
+		return c.StreamBatch
+	}
+	return 8
+}
+
+// streamBufferDepth returns the effective streaming-edge buffer depth in
+// batches.
+func (c *Context) streamBufferDepth() int {
+	if c.StreamBuffer > 0 {
+		return c.StreamBuffer
+	}
+	return 2
 }
 
 // workerBudget is a counting semaphore over busy workers. Tokens are held
@@ -134,11 +173,11 @@ func (c *Context) withCallCtx(ctx context.Context) *Context {
 // this one waits. Barrier and source stages never hold tokens and must
 // not yield.
 func (c *Context) forStage(nt *NodeTrace, yieldsBudget bool) *Context {
-	if c.LLM == nil {
-		return c
-	}
 	out := *c
-	out.LLM = &tracingLLM{inner: c.LLM, nt: nt, yield: c.budget, yields: yieldsBudget}
+	out.nt = nt
+	if c.LLM != nil {
+		out.LLM = &tracingLLM{inner: c.LLM, nt: nt, yield: c.budget, yields: yieldsBudget}
+	}
 	return &out
 }
 
@@ -186,10 +225,30 @@ func WithFaultHook(hook func(op string) error) Option {
 	return func(ctx *Context) { ctx.FaultHook = hook }
 }
 
+// WithStreamBatch sets how many documents streaming edges accumulate per
+// batch (see Context.StreamBatch).
+func WithStreamBatch(n int) Option {
+	return func(ctx *Context) {
+		if n > 0 {
+			ctx.StreamBatch = n
+		}
+	}
+}
+
+// WithStreamBuffer sets the bounded depth, in batches, of streaming task
+// edges (see Context.StreamBuffer).
+func WithStreamBuffer(n int) Option {
+	return func(ctx *Context) {
+		if n > 0 {
+			ctx.StreamBuffer = n
+		}
+	}
+}
+
 // NewContext builds an execution context. Unset services default to a
 // seeded Sim LLM and hash embedder so examples work out of the box.
 func NewContext(opts ...Option) *Context {
-	ctx := &Context{Parallelism: 4, Retries: 2, SampleSize: 3}
+	ctx := &Context{Parallelism: 4, Retries: 2, SampleSize: 3, StreamBatch: 8, StreamBuffer: 2}
 	for _, o := range opts {
 		o(ctx)
 	}

@@ -89,6 +89,12 @@ type sourceSpec struct {
 	// stageSpec.tag).
 	tag  string
 	emit func(ctx context.Context, ec *Context, yield func(*docmodel.Document) error) error
+	// emitEnv is the envelope-level form of emit, used by sources that
+	// relay another pipeline's output (streaming task edges): yielded
+	// envelopes keep their producer sequence numbers, so the final sort
+	// reconstructs the producer's deterministic order no matter how
+	// batches interleaved in flight. Takes precedence over emit.
+	emitEnv func(ctx context.Context, ec *Context, yield func(envelope) error) error
 	// shared marks sources that yield documents owned by someone else
 	// (index.Store snapshots, caller-held slices) rather than documents
 	// created for this plan. Execute clones shared documents at the
@@ -117,6 +123,64 @@ func (ds *DocSet) needsSourceClone() bool {
 // Execute runs the plan and returns the resulting documents (in
 // deterministic order) along with the lineage trace.
 func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, error) {
+	return ds.ExecuteStream(ctx, nil)
+}
+
+// StreamSink observes documents as they clear the plan's final stage, in
+// arrival order — the batches are previews, NOT the canonical result.
+// The canonical, deterministically-ordered documents are the ones
+// ExecuteStream returns; they are byte-identical to Execute's for the
+// same plan. Sinks run on the collector goroutine: a slow sink
+// backpressures the pipeline rather than buffering unboundedly.
+type StreamSink func(docs []*docmodel.Document)
+
+// ExecuteStream runs the plan like Execute while handing arrival-order
+// batches of Context.StreamBatch documents to sink as they clear the
+// final stage, so consumers (SSE responses, CLI progress) see results
+// before the tail of the pipeline finishes. A nil sink is exactly
+// Execute. On failure the tail batch is withheld — everything already
+// delivered stands, and the returned partial documents keep the
+// degraded-mode contract.
+func (ds *DocSet) ExecuteStream(ctx context.Context, sink StreamSink) ([]*docmodel.Document, *Trace, error) {
+	var collected []envelope
+	delivered := 0
+	batch := ds.ctx.streamBatchSize()
+	flush := func() {
+		if sink == nil || delivered == len(collected) {
+			return
+		}
+		docs := make([]*docmodel.Document, 0, len(collected)-delivered)
+		for _, env := range collected[delivered:] {
+			docs = append(docs, env.doc)
+		}
+		delivered = len(collected)
+		sink(docs)
+	}
+	trace, err := ds.executeInto(ctx, func(env envelope) error {
+		collected = append(collected, env)
+		if sink != nil && len(collected)-delivered >= batch {
+			flush()
+		}
+		return nil
+	})
+	if err == nil {
+		flush()
+	}
+	sort.Slice(collected, func(i, j int) bool { return seqLess(collected[i].seq, collected[j].seq) })
+	docs := make([]*docmodel.Document, len(collected))
+	for i, env := range collected {
+		docs[i] = env.doc
+	}
+	return docs, trace, err
+}
+
+// executeInto runs the pipeline, handing each output envelope to deliver
+// on the collector goroutine in arrival order. It owns trace assembly:
+// the skeleton is published to Context.TraceSink before execution starts
+// (live progress), per-node errors are annotated after it settles. A
+// deliver error cancels the run (the consumer went away); remaining
+// envelopes drain so stage goroutines exit cleanly.
+func (ds *DocSet) executeInto(ctx context.Context, deliver func(envelope) error) (*Trace, error) {
 	start := time.Now()
 	trace := &Trace{}
 	llmBefore, hasLLMStats := llm.StatsOf(ds.ctx.LLM)
@@ -126,7 +190,13 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 	for _, sp := range ds.stages {
 		traces = append(traces, newNodeTrace(sp.name, sp.tag, ds.ctx.SampleSize))
 	}
+	for _, nt := range traces {
+		nt.epoch = start
+	}
 	trace.Nodes = traces
+	if ds.ctx.TraceSink != nil {
+		ds.ctx.TraceSink(trace)
+	}
 
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -146,27 +216,38 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 		// the time blocked handing documents to a backpressured consumer —
 		// so EXPLAIN ANALYZE attributes downstream latency downstream.
 		resumed := time.Now()
-		i := 0
-		err := ds.source.emit(cctx, ds.ctx.forStage(srcTrace, false), func(d *docmodel.Document) error {
+		yieldEnv := func(env envelope) error {
 			if cloneAtSource {
-				d = d.Clone()
+				env.doc = env.doc.Clone()
 			}
-			env := envelope{seq: []int32{int32(i)}, doc: d}
-			i++
 			atomic.AddInt64(&srcTrace.In, 1)
 			// Sample before sending: once a document crosses the channel its
 			// ownership transfers downstream.
-			srcTrace.addSample(d.Summary())
+			srcTrace.addSample(env.doc.Summary())
 			srcTrace.noteSpan(resumed, time.Now())
 			defer func() { resumed = time.Now() }()
 			select {
 			case srcOut <- env:
 				atomic.AddInt64(&srcTrace.Out, 1)
+				srcTrace.noteFirstOut()
 				return nil
 			case <-cctx.Done():
 				return cctx.Err()
 			}
-		})
+		}
+		var err error
+		if ds.source.emitEnv != nil {
+			// Envelope-relay sources (streaming task edges) keep the
+			// producer's sequence numbers intact.
+			err = ds.source.emitEnv(cctx, ds.ctx.forStage(srcTrace, false), yieldEnv)
+		} else {
+			i := 0
+			err = ds.source.emit(cctx, ds.ctx.forStage(srcTrace, false), func(d *docmodel.Document) error {
+				env := envelope{seq: []int32{int32(i)}, doc: d}
+				i++
+				return yieldEnv(env)
+			})
+		}
 		srcTrace.noteSpan(resumed, time.Now())
 		if err != nil {
 			errs[0] = err
@@ -200,10 +281,17 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 		in = out
 	}
 
-	// Collect.
-	var collected []envelope
+	// Collect: deliver envelopes as they arrive; after a deliver failure
+	// keep draining so upstream goroutines never block on a full channel.
+	var deliverErr error
 	for env := range in {
-		collected = append(collected, env)
+		if deliverErr != nil {
+			continue
+		}
+		if err := deliver(env); err != nil {
+			deliverErr = err
+			cancel()
+		}
 	}
 	wg.Wait()
 	trace.Wall = time.Since(start)
@@ -222,6 +310,9 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 			break
 		}
 	}
+	if firstErr == nil && deliverErr != nil && !errors.Is(deliverErr, context.Canceled) {
+		firstErr = deliverErr
+	}
 	if firstErr == nil {
 		for _, e := range errs {
 			if e != nil {
@@ -230,29 +321,26 @@ func (ds *DocSet) Execute(ctx context.Context) ([]*docmodel.Document, *Trace, er
 			}
 		}
 	}
+	if firstErr == nil && deliverErr != nil {
+		firstErr = deliverErr
+	}
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()
 	}
 
-	sort.Slice(collected, func(i, j int) bool { return seqLess(collected[i].seq, collected[j].seq) })
-	docs := make([]*docmodel.Document, len(collected))
-	for i, env := range collected {
-		docs[i] = env.doc
-	}
 	if firstErr != nil {
 		// Annotate the trace with which operators actually failed
-		// (collateral cancellations stay blank) and hand back whatever
-		// flowed out before the failure: callers serving under degraded
-		// mode return partial results with per-node error provenance
-		// instead of discarding completed work.
+		// (collateral cancellations stay blank): callers serving under
+		// degraded mode return partial results with per-node error
+		// provenance instead of discarding completed work.
 		for i, e := range errs {
 			if e != nil && !errors.Is(e, context.Canceled) {
-				traces[i].Err = e.Error()
+				traces[i].setErr(e.Error())
 			}
 		}
-		return docs, trace, fmt.Errorf("docset: execute: %w", firstErr)
+		return trace, fmt.Errorf("docset: execute: %w", firstErr)
 	}
-	return docs, trace, nil
+	return trace, nil
 }
 
 // runMapStage fans the input across workers, applying the map function
@@ -298,6 +386,7 @@ func runMapStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTrace, 
 					select {
 					case out <- outEnv:
 						atomic.AddInt64(&nt.Out, 1)
+						nt.noteFirstOut()
 					case <-ctx.Done():
 						return
 					}
@@ -413,6 +502,7 @@ func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTra
 		select {
 		case out <- envelope{seq: []int32{int32(i)}, doc: d}:
 			atomic.AddInt64(&nt.Out, 1)
+			nt.noteFirstOut()
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -1,0 +1,296 @@
+package docset
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aryn/internal/docmodel"
+)
+
+func streamDocs(n int) []*docmodel.Document {
+	docs := make([]*docmodel.Document, n)
+	for i := range docs {
+		d := docmodel.New(fmt.Sprintf("s%03d", i))
+		d.SetProperty("rank", i)
+		d.Text = "engine fire near the runway"
+		docs[i] = d
+	}
+	return docs
+}
+
+func docJSON(t *testing.T, docs []*docmodel.Document) string {
+	t.Helper()
+	b, err := json.Marshal(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// ExecuteStream must deliver every result document through the sink in
+// bounded batches and still return the exact documents Execute returns,
+// in the same deterministic order.
+func TestExecuteStreamMatchesExecute(t *testing.T) {
+	build := func(ec *Context) *DocSet {
+		return FromDocuments(ec, streamDocs(23)).
+			Filter("keep", func(d *docmodel.Document) (bool, error) { return true, nil }).
+			Map("mark", func(d *docmodel.Document) (*docmodel.Document, error) {
+				d.SetProperty("seen", true)
+				return d, nil
+			})
+	}
+
+	batchEC := NewContext(WithParallelism(4))
+	want, _, err := build(batchEC).Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamEC := NewContext(WithParallelism(4), WithStreamBatch(4))
+	var streamed int
+	var batches int
+	got, trace, err := build(streamEC).ExecuteStream(context.Background(), func(docs []*docmodel.Document) {
+		if len(docs) == 0 || len(docs) > 4 {
+			t.Errorf("sink batch of %d docs, want 1..4", len(docs))
+		}
+		streamed += len(docs)
+		batches++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(want) {
+		t.Errorf("sink saw %d docs, want %d", streamed, len(want))
+	}
+	if batches < 2 {
+		t.Errorf("sink saw %d batches, want several (23 docs / batch 4)", batches)
+	}
+	if a, b := docJSON(t, got), docJSON(t, want); a != b {
+		t.Errorf("streamed result differs from batch result:\n%s\nvs\n%s", a, b)
+	}
+	// First-batch latency is recorded for the operators that emitted.
+	final := trace.Nodes[len(trace.Nodes)-1]
+	if fo := atomic.LoadInt64(&final.FirstOutNS); fo <= 0 || time.Duration(fo) > trace.Wall+time.Second {
+		t.Errorf("final stage FirstOutNS = %d, want within (0, wall]", fo)
+	}
+}
+
+// A streaming task edge must produce byte-identical output to the
+// materialized handoff, for both order-insensitive (map) and
+// order-sensitive (barrier) consumers.
+func TestStreamTaskEdgeByteIdentical(t *testing.T) {
+	consumers := map[string]func(*DocSet) *DocSet{
+		"map": func(ds *DocSet) *DocSet {
+			return ds.Map("stamp", func(d *docmodel.Document) (*docmodel.Document, error) {
+				d.SetProperty("consumed", true)
+				return d, nil
+			})
+		},
+		"barrier": func(ds *DocSet) *DocSet { return ds.TopK("rank", 7) },
+	}
+	for name, consume := range consumers {
+		t.Run(name, func(t *testing.T) {
+			producer := func(ec *Context) *DocSet {
+				return FromDocuments(ec, streamDocs(19)).
+					Filter("pass", func(d *docmodel.Document) (bool, error) { return true, nil })
+			}
+			ctx := context.Background()
+
+			mec := NewContext(WithParallelism(3))
+			mat := NewTask("edge", producer(mec))
+			mat.Start(ctx)
+			want, _, err := consume(mat.DocSet()).Execute(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sec := NewContext(WithParallelism(3), WithStreamBatch(4), WithStreamBuffer(2))
+			st := NewTask("edge", producer(sec))
+			st.StartStream(ctx)
+			got, trace, err := consume(st.StreamDocSet()).Execute(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := docJSON(t, got), docJSON(t, want); a != b {
+				t.Errorf("streaming edge output differs from materialized:\n%s\nvs\n%s", a, b)
+			}
+			// The consumer's source node counted batch arrivals.
+			src := trace.Nodes[0]
+			if n := atomic.LoadInt64(&src.Batches); n < 2 {
+				t.Errorf("edge source saw %d batches, want several (19 docs / batch 4)", n)
+			}
+		})
+	}
+}
+
+// The consumer must begin processing while the producer is still
+// emitting: the whole point of the bounded-channel edge.
+func TestStreamTaskEdgeOverlapsProducerAndConsumer(t *testing.T) {
+	ec := NewContext(WithParallelism(2), WithStreamBatch(2), WithStreamBuffer(1))
+	var produced, overlapped int64
+	prod := FromDocuments(ec, streamDocs(16)).
+		Map("slowProduce", func(d *docmodel.Document) (*docmodel.Document, error) {
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&produced, 1)
+			return d, nil
+		})
+	task := NewTask("edge", prod)
+	ctx := context.Background()
+	task.StartStream(ctx)
+	out, _, err := task.StreamDocSet().
+		Map("consume", func(d *docmodel.Document) (*docmodel.Document, error) {
+			if atomic.LoadInt64(&produced) < 16 {
+				atomic.AddInt64(&overlapped, 1)
+			}
+			return d, nil
+		}).Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("got %d docs, want 16", len(out))
+	}
+	if atomic.LoadInt64(&overlapped) == 0 {
+		t.Error("consumer never ran while the producer was still emitting; edge did not pipeline")
+	}
+}
+
+// The bounded edge must backpressure the producer: with a slow consumer
+// the producer cannot run unboundedly ahead.
+func TestStreamTaskEdgeBackpressure(t *testing.T) {
+	ec := NewContext(WithParallelism(1), WithStreamBatch(1), WithStreamBuffer(1))
+	var produced, consumed, maxAhead int64
+	prod := FromDocuments(ec, streamDocs(32)).
+		Map("count", func(d *docmodel.Document) (*docmodel.Document, error) {
+			p := atomic.AddInt64(&produced, 1)
+			c := atomic.LoadInt64(&consumed)
+			for {
+				old := atomic.LoadInt64(&maxAhead)
+				if p-c <= old || atomic.CompareAndSwapInt64(&maxAhead, old, p-c) {
+					break
+				}
+			}
+			return d, nil
+		})
+	task := NewTask("edge", prod)
+	ctx := context.Background()
+	task.StartStream(ctx)
+	_, _, err := task.StreamDocSet().
+		Map("slowConsume", func(d *docmodel.Document) (*docmodel.Document, error) {
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&consumed, 1)
+			return d, nil
+		}).Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity between the two map stages: the producer's pending batch,
+	// the edge buffer, and the channel/worker slack inside both
+	// pipelines. With batch=1, buffer=1, parallelism=1 that is single
+	// digits; 12 leaves margin while still proving the bound (vs 32).
+	if ahead := atomic.LoadInt64(&maxAhead); ahead > 12 {
+		t.Errorf("producer ran %d docs ahead of the consumer, want bounded (<= 12)", ahead)
+	}
+}
+
+// A producer failure mid-stream must surface on the consumer, labeled
+// with the task name.
+func TestStreamTaskEdgeErrorPropagates(t *testing.T) {
+	ec := NewContext(WithParallelism(1), WithStreamBatch(1), WithRetries(0))
+	boom := errors.New("producer exploded")
+	prod := FromDocuments(ec, streamDocs(8)).
+		Map("explode", func(d *docmodel.Document) (*docmodel.Document, error) {
+			if v, _ := d.Properties.Float("rank"); v >= 4 {
+				return nil, boom
+			}
+			return d, nil
+		})
+	task := NewTask("badEdge", prod)
+	ctx := context.Background()
+	task.StartStream(ctx)
+	_, _, err := task.StreamDocSet().Execute(ctx)
+	if err == nil {
+		t.Fatal("consumer succeeded past a failed producer")
+	}
+	if !strings.Contains(err.Error(), "badEdge") || !strings.Contains(err.Error(), "producer exploded") {
+		t.Errorf("error %q does not carry the task name and producer failure", err)
+	}
+}
+
+// Wait on a streamed task must refuse rather than silently return nil
+// docs (streaming retains nothing).
+func TestStreamTaskWaitRefuses(t *testing.T) {
+	ec := NewContext(WithStreamBatch(4))
+	task := NewTask("edge", FromDocuments(ec, streamDocs(4)))
+	ctx := context.Background()
+	task.StartStream(ctx)
+	if _, _, err := task.StreamDocSet().Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Wait(ctx); err == nil {
+		t.Error("Wait on a streamed task returned no error")
+	}
+}
+
+// Live progress snapshots must be safe to take while the pipeline is
+// executing (run under -race), and the TraceSink must see the trace
+// before results flow.
+func TestTraceSinkLiveSnapshots(t *testing.T) {
+	ec := NewContext(WithParallelism(2))
+	var mu sync.Mutex
+	var registered []*Trace
+	ec.TraceSink = func(tr *Trace) {
+		mu.Lock()
+		registered = append(registered, tr)
+		mu.Unlock()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			for _, tr := range registered {
+				tr.Snapshots()
+			}
+			mu.Unlock()
+		}
+	}()
+	docs, _, err := FromDocuments(ec, streamDocs(40)).
+		Map("work", func(d *docmodel.Document) (*docmodel.Document, error) {
+			time.Sleep(200 * time.Microsecond)
+			d.SetProperty("w", 1)
+			return d, nil
+		}).Execute(context.Background())
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 40 {
+		t.Fatalf("got %d docs, want 40", len(docs))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(registered) != 1 {
+		t.Fatalf("TraceSink saw %d traces, want 1", len(registered))
+	}
+	snaps := registered[0].Snapshots()
+	final := snaps[len(snaps)-1]
+	if final.Out != 40 || final.FirstOut <= 0 {
+		t.Errorf("final snapshot = %+v, want Out=40 and positive FirstOut", final)
+	}
+}

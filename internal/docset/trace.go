@@ -45,6 +45,16 @@ type NodeTrace struct {
 	// attempts — time the operator was stalled on backoff, not busy —
 	// so EXPLAIN ANALYZE can separate "slow" from "retrying".
 	BackoffNS int64
+	// FirstOutNS is how long after its pipeline started this operator
+	// emitted its first output document (nanoseconds; 0 when it never
+	// emitted). Alongside Duration, it is what EXPLAIN ANALYZE shows as
+	// first-batch latency: how quickly results began flowing, not just
+	// how long the operator stayed busy.
+	FirstOutNS int64
+	// Batches counts streaming-edge batch arrivals through this operator
+	// (the replay source of a streaming Task edge). 0 for fused stages,
+	// whose documents flow one envelope at a time.
+	Batches int64
 	// Err records why this operator failed ("" on success). Execute fills
 	// it after the run settles, so partial results stay auditable: the
 	// trace shows exactly which node broke and what flowed before it did.
@@ -69,10 +79,84 @@ type NodeTrace struct {
 	// start/end bound the operator's busy window (first work started /
 	// last work finished). Zero when the operator never ran work.
 	start, end time.Time
+	// epoch is when the pipeline began executing; FirstOutNS is measured
+	// against it. Set once before the stage goroutines start.
+	epoch time.Time
 }
 
 func newNodeTrace(name, tag string, sampleCap int) *NodeTrace {
 	return &NodeTrace{Name: name, Tag: tag, cap: sampleCap}
+}
+
+// noteFirstOut records the first output emission (no-op afterwards).
+func (n *NodeTrace) noteFirstOut() {
+	if atomic.LoadInt64(&n.FirstOutNS) != 0 {
+		return
+	}
+	ns := int64(time.Since(n.epoch))
+	if ns < 1 {
+		ns = 1
+	}
+	atomic.CompareAndSwapInt64(&n.FirstOutNS, 0, ns)
+}
+
+// setErr records the operator's failure under the trace mutex so live
+// progress snapshots never race the post-run annotation pass.
+func (n *NodeTrace) setErr(msg string) {
+	n.mu.Lock()
+	n.Err = msg
+	n.mu.Unlock()
+}
+
+// NodeSnapshot is a race-safe point-in-time copy of an operator's
+// counters, taken while the pipeline may still be executing. It backs
+// live progress reporting (SSE progress events, job phase polling).
+type NodeSnapshot struct {
+	Name             string
+	Tag              string
+	In, Out          int64
+	Retries          int64
+	Batches          int64
+	FirstOut         time.Duration
+	Busy             time.Duration
+	LLMCalls         int64
+	PromptTokens     int64
+	CompletionTokens int64
+	CacheHits        int64
+	Err              string
+}
+
+// Snapshot returns a consistent view of the node's counters. Atomic
+// fields load atomically; mutex-guarded fields copy under the lock.
+func (n *NodeTrace) Snapshot() NodeSnapshot {
+	s := NodeSnapshot{
+		Name:             n.Name,
+		Tag:              n.Tag,
+		In:               atomic.LoadInt64(&n.In),
+		Out:              atomic.LoadInt64(&n.Out),
+		Retries:          atomic.LoadInt64(&n.Retries),
+		Batches:          atomic.LoadInt64(&n.Batches),
+		FirstOut:         time.Duration(atomic.LoadInt64(&n.FirstOutNS)),
+		LLMCalls:         atomic.LoadInt64(&n.LLMCalls),
+		PromptTokens:     atomic.LoadInt64(&n.PromptTokens),
+		CompletionTokens: atomic.LoadInt64(&n.CompletionTokens),
+		CacheHits:        atomic.LoadInt64(&n.CacheHits),
+	}
+	n.mu.Lock()
+	s.Busy = n.Duration
+	s.Err = n.Err
+	n.mu.Unlock()
+	return s
+}
+
+// Snapshots returns race-safe copies of every node's counters, in
+// pipeline order — the payload of one live progress observation.
+func (t *Trace) Snapshots() []NodeSnapshot {
+	out := make([]NodeSnapshot, len(t.Nodes))
+	for i, n := range t.Nodes {
+		out[i] = n.Snapshot()
+	}
+	return out
 }
 
 func (n *NodeTrace) addSample(s string) {

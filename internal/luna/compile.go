@@ -307,6 +307,17 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 		return res, fmt.Errorf("luna: execute: %w", execErr)
 	}
 
+	if serr := e.shapeAnswer(ctx, res, low, docs); serr != nil {
+		return nil, serr
+	}
+	return res, nil
+}
+
+// shapeAnswer derives the typed answer from the terminal operator over
+// the executed documents — shared by the batch (Run) and streaming
+// (RunStream) paths, which is what guarantees their final results are
+// identical for the same plan.
+func (e *Executor) shapeAnswer(ctx context.Context, res *Result, low *lowered, docs []*docmodel.Document) error {
 	groupKeyField := low.keyField
 	switch low.terminal.Op {
 	case OpCount:
@@ -314,7 +325,7 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 	case OpFraction:
 		ans, ferr := e.fraction(ctx, docs, low.terminal)
 		if ferr != nil {
-			return nil, ferr
+			return ferr
 		}
 		res.Answer = ans
 	case OpGroupByAggregate:
@@ -355,6 +366,104 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 			ids = append(ids, d.ID)
 		}
 		res.Answer = ListAnswer(ids...)
+	}
+	return nil
+}
+
+// StreamHooks observe a streaming execution. Both hooks are optional;
+// they are invoked from executor goroutines while the query runs, so
+// implementations must be safe for concurrent use with the caller.
+type StreamHooks struct {
+	// OnPartial receives arrival-order batches of documents as they clear
+	// the plan's output node — previews, not the canonical result (the
+	// Result returned at the end carries the deterministic documents and
+	// the shaped answer).
+	OnPartial func(docs []*docmodel.Document)
+	// OnTrace receives each pipeline's trace skeleton the moment it
+	// starts executing (output pipeline, scheduled branches). Poll
+	// NodeTrace.Snapshot for live per-operator progress.
+	OnTrace func(*docset.Trace)
+}
+
+// RunStream executes the plan like Run while streaming results out as
+// they are produced: the output pipeline runs behind a bounded-channel
+// streaming task edge (docset.Task.StartStream), partial batches flow to
+// hooks.OnPartial before the tail of the plan finishes, and every
+// pipeline's live trace is published to hooks.OnTrace. The returned
+// Result is identical to Run's for the same plan — same documents, same
+// shaped answer — because the canonical output is still collected and
+// deterministically ordered after the stream drains. Order-sensitive
+// handoffs (join build sides, shared diamond prefixes) keep their
+// materialized form; only the output edge streams.
+func (e *Executor) RunStream(ctx context.Context, plan *LogicalPlan, hooks StreamHooks) (*Result, error) {
+	qec := e.EC.QueryScope()
+	if hooks.OnTrace != nil {
+		qec.TraceSink = hooks.OnTrace
+	}
+	low, err := e.lower(qec, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Rewritten: plan}
+	res.Compiled = low.ds.PlanString()
+
+	llmBefore, hasLLMStats := llm.StatsOf(qec.LLM)
+	start := time.Now()
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	for _, t := range low.tasks {
+		t.Start(tctx)
+		if e.Serial {
+			t.Join()
+		}
+	}
+	// The output pipeline becomes a streaming task: its documents cross a
+	// bounded channel to the consumer below, which forwards batches to
+	// the caller as they arrive and collects the canonical result.
+	outTask := docset.NewTask("output["+plan.Output+"]", low.ds)
+	outTask.StartStream(tctx)
+	var sink docset.StreamSink
+	if hooks.OnPartial != nil {
+		sink = docset.StreamSink(hooks.OnPartial)
+	}
+	docs, edgeTrace, execErr := outTask.StreamDocSet().ExecuteStream(tctx, sink)
+	tcancel()
+	outTask.Join()
+	for _, t := range low.tasks {
+		t.Join()
+	}
+	wall := time.Since(start)
+
+	merged := &docset.Trace{Wall: wall}
+	for _, t := range low.tasks {
+		if tt := t.Trace(); tt != nil {
+			merged.Nodes = append(merged.Nodes, tt.Nodes...)
+		}
+	}
+	if tt := outTask.Trace(); tt != nil {
+		merged.Nodes = append(merged.Nodes, tt.Nodes...)
+	}
+	if edgeTrace != nil {
+		// The consumer pipeline is a single untagged relay source; its
+		// node carries the edge's batch counters and first-batch latency.
+		merged.Nodes = append(merged.Nodes, edgeTrace.Nodes...)
+	}
+	if hasLLMStats {
+		if after, ok := llm.StatsOf(qec.LLM); ok {
+			delta := after.Sub(llmBefore)
+			merged.LLM = &delta
+		}
+	}
+	res.Trace = merged
+	res.Docs = docs
+	// Branches: scheduled subtrees, the output producer, and the edge
+	// consumer relay.
+	res.Exec = buildExecDetail(plan, merged, start, wall, qec.Parallelism, len(low.tasks)+2)
+	if execErr != nil {
+		return res, fmt.Errorf("luna: execute: %w", execErr)
+	}
+	if serr := e.shapeAnswer(ctx, res, low, docs); serr != nil {
+		return nil, serr
 	}
 	return res, nil
 }

@@ -29,6 +29,11 @@ type NodeRuntime struct {
 	// parallelism).
 	WallMS float64 `json:"wall_ms"`
 	BusyMS float64 `json:"busy_ms"`
+	// FirstOutMS is how long after its pipeline started this node emitted
+	// its first output document — the first-batch latency that shows how
+	// quickly results began flowing downstream, as opposed to how long
+	// the node stayed busy. Omitted when the node emitted nothing.
+	FirstOutMS float64 `json:"first_out_ms,omitempty"`
 	// DocsIn and DocsOut count documents entering and leaving the node.
 	DocsIn  int64 `json:"docs_in"`
 	DocsOut int64 `json:"docs_out"`
@@ -115,6 +120,16 @@ func buildExecDetail(plan *LogicalPlan, trace *docset.Trace, start time.Time, wa
 			r.BusyMS += roundMS(nt.Duration)
 			r.Retries += nt.Retries
 			r.BackoffMS += roundMS(time.Duration(nt.BackoffNS))
+			if fo := nt.FirstOutNS; fo > 0 {
+				ms := roundMS(time.Duration(fo))
+				if ms == 0 {
+					// Sub-precision but real: keep it visibly nonzero.
+					ms = 0.001
+				}
+				if r.FirstOutMS == 0 || ms < r.FirstOutMS {
+					r.FirstOutMS = ms
+				}
+			}
 			if nt.Err != "" && r.Error == "" {
 				r.Error = nt.Err
 			}

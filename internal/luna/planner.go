@@ -98,6 +98,45 @@ func (s *Service) RunPlan(ctx context.Context, question string, plan *LogicalPla
 	return res, err
 }
 
+// AskStream plans the question, then executes it with streaming hooks:
+// partial result batches and live per-operator traces flow to the hooks
+// while the query runs (see Executor.RunStream). The returned Result is
+// identical to Ask's for the same plan.
+func (s *Service) AskStream(ctx context.Context, question string, hooks StreamHooks) (*Result, error) {
+	before, hasStats := llm.StatsOf(s.Planner.Client)
+	raw, rewritten, err := s.Planner.Plan(ctx, question)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Executor.RunStream(ctx, rewritten, hooks)
+	if res != nil {
+		res.Question = question
+		res.Plan = raw
+		res.Rewritten = rewritten
+		if hasStats {
+			if after, ok := llm.StatsOf(s.Planner.Client); ok {
+				delta := after.Sub(before)
+				res.LLM = &delta
+			}
+		}
+	}
+	return res, err
+}
+
+// RunPlanStream executes a user-submitted plan with streaming hooks,
+// applying the same validation and rewrites as RunPlan.
+func (s *Service) RunPlanStream(ctx context.Context, question string, plan *LogicalPlan, hooks StreamHooks) (*Result, error) {
+	if err := Validate(plan, s.Planner.Schema); err != nil {
+		return nil, err
+	}
+	res, err := s.Executor.RunStream(ctx, Rewrite(plan, s.Planner.Rewrites), hooks)
+	if res != nil {
+		res.Question = question
+		res.Plan = plan
+	}
+	return res, err
+}
+
 // PlanPreview is a planned-but-not-executed query: the inspectable half
 // of the §6.2 inspect→edit→re-run loop.
 type PlanPreview struct {

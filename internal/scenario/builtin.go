@@ -13,7 +13,7 @@ import (
 	"time"
 
 	"aryn/internal/ntsb"
-	"aryn/internal/server"
+	"aryn/internal/server/api"
 )
 
 // Rotation counters give concurrent executions distinct inputs (fresh
@@ -44,8 +44,8 @@ func init() {
 		Setup:       ensureCorpus,
 		Execute: func(ctx context.Context, c *Client) error {
 			q := oneshotQuestions[int(questionSeq.Add(1))%len(oneshotQuestions)]
-			var out server.QueryResponse
-			if _, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: q}, &out); err != nil {
+			var out api.QueryResponse
+			if _, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: q}, &out); err != nil {
 				return err
 			}
 			if out.Answer == "" {
@@ -72,7 +72,7 @@ func init() {
 			// contract — so contention is an accepted outcome, not a
 			// failure.
 			synStatus, err := c.PostJSON(ctx, "/ingest",
-				server.IngestRequest{Docs: c.Params.IngestDocs, Seed: seed}, nil,
+				api.IngestRequest{Docs: c.Params.IngestDocs, Seed: seed}, nil,
 				http.StatusOK, http.StatusConflict)
 			if err != nil && !errors.Is(err, ErrShed) {
 				return err
@@ -85,7 +85,7 @@ func init() {
 				return err
 			}
 			blobStatus, err := c.PostJSON(ctx, "/ingest",
-				server.IngestRequest{Blobs: blobs}, nil,
+				api.IngestRequest{Blobs: blobs}, nil,
 				http.StatusOK, http.StatusConflict)
 			if err != nil && !errors.Is(err, ErrShed) {
 				return err
@@ -124,9 +124,9 @@ func init() {
 		Paper:       "§6.2 (inspect → edit → re-run plans)",
 		Setup:       ensureCorpus,
 		Execute: func(ctx context.Context, c *Client) error {
-			var planned server.PlanResponse
+			var planned api.PlanResponse
 			if _, err := c.PostJSON(ctx, "/plan",
-				server.PlanRequest{Question: "How many incidents were there in Kentucky?"}, &planned); err != nil {
+				api.PlanRequest{Question: "How many incidents were there in Kentucky?"}, &planned); err != nil {
 				return err
 			}
 			if len(planned.Plan.Rewritten) == 0 || planned.Plan.Compiled == "" {
@@ -140,12 +140,12 @@ func init() {
 
 			// Dry-run the edit (validation + rewrite + compile, no
 			// execution), then execute it for real.
-			if _, err := c.PostJSON(ctx, "/plan", server.PlanRequest{Plan: edited}, nil); err != nil {
+			if _, err := c.PostJSON(ctx, "/plan", api.PlanRequest{Plan: edited}, nil); err != nil {
 				return err
 			}
-			var out server.QueryResponse
+			var out api.QueryResponse
 			if _, err := c.PostJSON(ctx, "/query",
-				server.QueryRequest{Plan: edited, IncludePlan: true}, &out); err != nil {
+				api.QueryRequest{Plan: edited, IncludePlan: true}, &out); err != nil {
 				return err
 			}
 			if out.Answer == "" {
@@ -168,9 +168,9 @@ func init() {
 		Paper:       "§6.2 (EXPLAIN ANALYZE), concurrent branch scheduling",
 		Setup:       ensureCorpus,
 		Execute: func(ctx context.Context, c *Client) error {
-			var out server.PlanResponse
+			var out api.PlanResponse
 			if _, err := c.PostJSON(ctx, "/plan",
-				server.PlanRequest{Plan: json.RawMessage(selfJoinPlan), Analyze: true}, &out); err != nil {
+				api.PlanRequest{Plan: json.RawMessage(selfJoinPlan), Analyze: true}, &out); err != nil {
 				return err
 			}
 			if len(out.Plan.Executed) == 0 {
@@ -206,9 +206,9 @@ func init() {
 		Paper:       "§6 (conversational analytics), serving-layer sessions",
 		Setup:       ensureCorpus,
 		Execute: func(ctx context.Context, c *Client) error {
-			var first server.ChatResponse
+			var first api.ChatResponse
 			if _, err := c.PostJSON(ctx, "/chat",
-				server.ChatRequest{Question: "How many incidents involved substantial damage?"}, &first); err != nil {
+				api.ChatRequest{Question: "How many incidents involved substantial damage?"}, &first); err != nil {
 				return err
 			}
 			if first.SessionID == "" || first.Turn != 1 {
@@ -220,8 +220,8 @@ func init() {
 				"which of those happened at night?",
 			}
 			for i := 0; i < c.Params.ChatTurns; i++ {
-				var resp server.ChatResponse
-				if _, err := c.PostJSON(ctx, "/chat", server.ChatRequest{
+				var resp api.ChatResponse
+				if _, err := c.PostJSON(ctx, "/chat", api.ChatRequest{
 					SessionID: first.SessionID,
 					Question:  followUps[i%len(followUps)],
 				}, &resp); err != nil {
@@ -254,7 +254,7 @@ func init() {
 		Paper:       "serving-layer session lifecycle (TTL eviction)",
 		Setup:       ensureCorpus,
 		Execute: func(ctx context.Context, c *Client) error {
-			status, err := c.PostJSON(ctx, "/chat", server.ChatRequest{
+			status, err := c.PostJSON(ctx, "/chat", api.ChatRequest{
 				SessionID: "scenario-expired-session",
 				Question:  "are you still there?",
 			}, nil, http.StatusNotFound)
@@ -270,15 +270,15 @@ func init() {
 			// Against a short-TTL server (suite tests), prove a real idle
 			// session is reaped: open one, go idle past the TTL, and watch
 			// the follow-up turn into a 404.
-			var first server.ChatResponse
+			var first api.ChatResponse
 			if _, err := c.PostJSON(ctx, "/chat",
-				server.ChatRequest{Question: "How many incidents were there?"}, &first); err != nil {
+				api.ChatRequest{Question: "How many incidents were there?"}, &first); err != nil {
 				return err
 			}
 			deadline := time.Now().Add(c.Params.TTLWait + 5*time.Second)
 			time.Sleep(c.Params.TTLWait)
 			for {
-				status, err := c.PostJSON(ctx, "/chat", server.ChatRequest{
+				status, err := c.PostJSON(ctx, "/chat", api.ChatRequest{
 					SessionID: first.SessionID,
 					Question:  "still with me?",
 				}, nil, http.StatusOK, http.StatusNotFound)
@@ -313,7 +313,7 @@ func init() {
 					// singleflight, so every admitted request holds a slot
 					// for real work.
 					q := fmt.Sprintf("How many incidents were there in year %d?", 1900+base+int64(i))
-					_, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: q}, nil)
+					_, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: q}, nil)
 					if err != nil && !errors.Is(err, ErrShed) {
 						errs[i] = err
 					}
@@ -333,7 +333,134 @@ func init() {
 			return nil
 		},
 	})
+
+	Register(Scenario{
+		Name:        "query-stream",
+		Description: "Streams a fixed filter plan over SSE and cross-checks it against the batch path: a well-formed event stream, partial batches that account for the terminal result, and identical final answers on both paths",
+		Paper:       "§3/§6 (pipelined execution streamed to clients)",
+		Setup:       ensureCorpus,
+		Execute: func(ctx context.Context, c *Client) error {
+			plan := json.RawMessage(streamFilterPlan)
+			before, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+
+			// Stream first, cache-cold relative to this execution's batch
+			// run. QueryStream enforces the event grammar as it reads and
+			// records time-to-first-event — the mix-level TTFE SLO and
+			// TestStreamFirstPartialBeatsBatch own the timing claims.
+			st, err := c.QueryStream(ctx, api.QueryRequest{Plan: plan})
+			if err != nil {
+				return err
+			}
+			if st.Result.Answer == "" {
+				return fmt.Errorf("streamed plan produced an empty terminal answer")
+			}
+			if st.Partials > 0 && st.PartialDocs != st.Result.Docs {
+				return fmt.Errorf("partials carried %d docs, terminal result says %d", st.PartialDocs, st.Result.Docs)
+			}
+
+			// The batch path must agree on the outcome — comparable only
+			// when no ingest (sync or job) touched the store between the
+			// two runs. A running job writes documents incrementally, so
+			// quiescence means no jobs in flight and none finishing.
+			var batch api.QueryResponse
+			if _, err := c.PostJSON(ctx, "/v1/query", api.QueryRequest{Plan: plan}, &batch); err != nil {
+				return err
+			}
+			after, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+			quiescent := before.Docs == after.Docs &&
+				before.Jobs == after.Jobs &&
+				after.Jobs.Running == 0
+			if quiescent && (batch.Answer != st.Result.Answer || batch.Docs != st.Result.Docs) {
+				return fmt.Errorf("stream (answer %q, docs %d) != batch (answer %q, docs %d) on a stable corpus",
+					st.Result.Answer, st.Result.Docs, batch.Answer, batch.Docs)
+			}
+			return nil
+		},
+		Verify: verifyServed("/query"),
+	})
+
+	Register(Scenario{
+		Name:        "ingest-async",
+		Description: "Submits an async ingest job (202 + job handle), keeps the read path answering while it runs, and polls the job resource to a verified terminal state",
+		Paper:       "§4–5 (ETL as a background job), serving-layer job lifecycle",
+		Setup:       ensureCorpus,
+		Execute: func(ctx context.Context, c *Client) error {
+			seed := 500_000 + corpusSeq.Add(1)
+			var acc api.JobAccepted
+			if _, err := c.PostJSON(ctx, "/v1/ingest",
+				api.IngestRequest{Docs: c.Params.IngestDocs, Seed: seed}, &acc,
+				http.StatusAccepted); err != nil {
+				return err // a full job queue sheds with 429 → ErrShed
+			}
+			if acc.JobID == "" || acc.Location == "" {
+				return fmt.Errorf("202 did not carry a job handle: %+v", acc)
+			}
+
+			// Ingest must not block the read path: a query issued while the
+			// job runs (or queues) still answers. Sheds are acceptable — the
+			// admission gate owns that call — errors are not.
+			var q api.QueryResponse
+			if _, err := c.PostJSON(ctx, "/query",
+				api.QueryRequest{Question: "How many incidents were there?"}, &q); err != nil && !errors.Is(err, ErrShed) {
+				return fmt.Errorf("query during async ingest: %w", err)
+			}
+
+			deadline := time.Now().Add(120 * time.Second)
+			for {
+				var job api.JobResponse
+				if _, err := c.GetJSON(ctx, acc.Location, &job); err != nil {
+					return err
+				}
+				switch job.State {
+				case api.JobDone:
+					if job.Result == nil || job.Result.Documents < c.Params.IngestDocs {
+						return fmt.Errorf("job %s done with result %+v, want ≥%d documents", acc.JobID, job.Result, c.Params.IngestDocs)
+					}
+					return nil
+				case api.JobFailed:
+					return fmt.Errorf("ingest job %s failed: %+v", acc.JobID, job.Error)
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("job %s still %q after 120s", acc.JobID, job.State)
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+		},
+		Verify: func(ctx context.Context, c *Client) error {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+			if stats.Jobs.Failed > 0 {
+				return fmt.Errorf("%d ingest jobs failed during the run", stats.Jobs.Failed)
+			}
+			if stats.Jobs.Done == 0 && stats.Jobs.Reaped == 0 {
+				return fmt.Errorf("no ingest job ever reached a terminal state")
+			}
+			return nil
+		},
+	})
 }
+
+// streamFilterPlan is the fixed plan the streaming scenario runs on both
+// paths: a scan feeding an llmFilter feeding a count. The filter stage is
+// per-document LLM work, so under a latency-carrying backend the batch
+// wall stretches while streaming still emits its first partial after the
+// first batch clears — the shape that makes time-to-first-result visible.
+const streamFilterPlan = `{"nodes":[
+  {"id":"n1","op":"queryDatabase"},
+  {"id":"n2","op":"llmFilter","question":"Does the report mention an engine problem?","inputs":["n1"]},
+  {"id":"n3","op":"count","inputs":["n2"]}],"output":"n3"}`
 
 // ensureCorpus is the shared Setup for query-flavored scenarios: make
 // sure the server has something to answer over, ingesting a small corpus
@@ -347,7 +474,7 @@ func ensureCorpus(ctx context.Context, c *Client) error {
 		return nil
 	}
 	status, err := c.PostJSON(ctx, "/ingest",
-		server.IngestRequest{Docs: 32, Seed: 42}, nil,
+		api.IngestRequest{Docs: 32, Seed: 42}, nil,
 		http.StatusOK, http.StatusConflict)
 	if err != nil && !errors.Is(err, ErrShed) {
 		return err

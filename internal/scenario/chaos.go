@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"aryn/internal/fault"
-	"aryn/internal/server"
+	"aryn/internal/server/api"
 )
 
 // Chaos scenarios script the server's fault injector through /faults and
@@ -65,7 +65,7 @@ func requireFaults(ctx context.Context, c *Client) error {
 // undegraded, /healthz drops its degraded flag, and /query has never
 // answered a 5xx.
 func clearFaultsAndRecover(ctx context.Context, c *Client) error {
-	if _, err := c.SetFaults(ctx, server.FaultControlRequest{Clear: true}); err != nil {
+	if _, err := c.SetFaults(ctx, api.FaultControlRequest{Clear: true}); err != nil {
 		return err
 	}
 	stats, err := c.Stats(ctx)
@@ -91,8 +91,8 @@ func clearFaultsAndRecover(ctx context.Context, c *Client) error {
 	for {
 		// Successful traffic is what walks a breaker open → half-open →
 		// closed; keep asking until the probes land.
-		var out server.QueryResponse
-		if _, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: chaosQuestion()}, &out); err != nil && !errors.Is(err, ErrShed) {
+		var out api.QueryResponse
+		if _, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: chaosQuestion()}, &out); err != nil && !errors.Is(err, ErrShed) {
 			return fmt.Errorf("recovery query failed: %w", err)
 		}
 		stats, err = c.Stats(ctx)
@@ -115,8 +115,8 @@ func clearFaultsAndRecover(ctx context.Context, c *Client) error {
 
 	// Closed breaker: a fresh query must serve undegraded and health must
 	// be back to plain ok.
-	var out server.QueryResponse
-	if _, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: chaosQuestion()}, &out); err != nil {
+	var out api.QueryResponse
+	if _, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: chaosQuestion()}, &out); err != nil {
 		if errors.Is(err, ErrShed) {
 			return nil
 		}
@@ -161,7 +161,7 @@ func init() {
 			}
 			// Outage windows re-anchor to now on every Set, so the whole
 			// execution happens inside a dead-backend world.
-			if _, err := c.SetFaults(ctx, server.FaultControlRequest{Spec: &fault.Spec{
+			if _, err := c.SetFaults(ctx, api.FaultControlRequest{Spec: &fault.Spec{
 				Seed:    11,
 				Outages: []fault.Window{{StartMS: 0, EndMS: 120_000}},
 			}}); err != nil {
@@ -172,8 +172,8 @@ func init() {
 			// threshold: the outage hint suppresses in-call retries, so each
 			// query contributes one breaker failure until the circuit opens.
 			for i := 0; i < 7; i++ {
-				var out server.QueryResponse
-				_, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: chaosQuestion()}, &out)
+				var out api.QueryResponse
+				_, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: chaosQuestion()}, &out)
 				if errors.Is(err, ErrShed) {
 					continue
 				}
@@ -203,7 +203,7 @@ func init() {
 			// isn't left degrading for the scripted 120s; the breaker may
 			// stay open until Verify (or the next steady-state reset)
 			// walks it closed.
-			_, err = c.SetFaults(ctx, server.FaultControlRequest{Clear: true})
+			_, err = c.SetFaults(ctx, api.FaultControlRequest{Clear: true})
 			return err
 		},
 		Verify: clearFaultsAndRecover,
@@ -233,7 +233,7 @@ func init() {
 			if stats.Resilience != nil {
 				retriesBefore = stats.Resilience.Retries
 			}
-			if _, err := c.SetFaults(ctx, server.FaultControlRequest{Spec: &fault.Spec{
+			if _, err := c.SetFaults(ctx, api.FaultControlRequest{Spec: &fault.Spec{
 				Seed:         13,
 				ErrorRate:    0.35,
 				RetryAfterMS: 5,
@@ -245,8 +245,8 @@ func init() {
 			// Loop until the middleware has demonstrably retried (bounded:
 			// at 0.35 error rate a handful of multi-call queries is plenty).
 			for i := 0; i < 20; i++ {
-				var out server.QueryResponse
-				_, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: chaosQuestion()}, &out)
+				var out api.QueryResponse
+				_, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: chaosQuestion()}, &out)
 				if errors.Is(err, ErrShed) {
 					continue
 				}
@@ -263,7 +263,7 @@ func init() {
 				if stats.Resilience != nil && stats.Resilience.Retries > retriesBefore {
 					// Retries demonstrated; stop injecting before releasing
 					// the lock so background traffic runs clean.
-					_, err = c.SetFaults(ctx, server.FaultControlRequest{Clear: true})
+					_, err = c.SetFaults(ctx, api.FaultControlRequest{Clear: true})
 					return err
 				}
 			}
@@ -289,15 +289,15 @@ func init() {
 				return err
 			}
 			q := chaosQuestion()
-			var first server.QueryResponse
-			_, err := c.PostJSON(ctx, "/query", server.QueryRequest{Question: q}, &first)
+			var first api.QueryResponse
+			_, err := c.PostJSON(ctx, "/query", api.QueryRequest{Question: q}, &first)
 			if errors.Is(err, ErrShed) {
 				return nil
 			}
 			if err != nil {
 				return err
 			}
-			state, err := c.SetFaults(ctx, server.FaultControlRequest{PurgeLLMCache: true})
+			state, err := c.SetFaults(ctx, api.FaultControlRequest{PurgeLLMCache: true})
 			if err != nil {
 				return err
 			}
@@ -306,8 +306,8 @@ func init() {
 			if !first.Degraded && state.PurgedCacheEntries == 0 {
 				return fmt.Errorf("purge after an uncached query dropped 0 entries")
 			}
-			var second server.QueryResponse
-			_, err = c.PostJSON(ctx, "/query", server.QueryRequest{Question: q}, &second)
+			var second api.QueryResponse
+			_, err = c.PostJSON(ctx, "/query", api.QueryRequest{Question: q}, &second)
 			if errors.Is(err, ErrShed) {
 				return nil
 			}
@@ -335,7 +335,7 @@ func init() {
 				return nil // another execution is scripting faults; skip
 			}
 			defer chaosMu.Unlock()
-			if _, err := c.SetFaults(ctx, server.FaultControlRequest{Spec: &fault.Spec{
+			if _, err := c.SetFaults(ctx, api.FaultControlRequest{Spec: &fault.Spec{
 				Seed:        17,
 				OpErrorRate: 0.25,
 				OpLatencyMS: 2,
@@ -347,14 +347,14 @@ func init() {
 			// race (409), or cleanly refused after stage retries exhausted
 			// (503). A 500 is the only failure.
 			_, err := c.PostJSON(ctx, "/ingest",
-				server.IngestRequest{Docs: c.Params.IngestDocs, Seed: seed}, nil,
+				api.IngestRequest{Docs: c.Params.IngestDocs, Seed: seed}, nil,
 				http.StatusOK, http.StatusConflict, http.StatusServiceUnavailable)
 			if err != nil && !errors.Is(err, ErrShed) {
 				return err
 			}
 			// Query traffic must keep serving while ingest churns.
-			var out server.QueryResponse
-			_, err = c.PostJSON(ctx, "/query", server.QueryRequest{Question: chaosQuestion()}, &out)
+			var out api.QueryResponse
+			_, err = c.PostJSON(ctx, "/query", api.QueryRequest{Question: chaosQuestion()}, &out)
 			if errors.Is(err, ErrShed) {
 				return nil
 			}
@@ -364,7 +364,7 @@ func init() {
 			if out.Answer == "" {
 				return fmt.Errorf("query during saturated ingest served an empty answer")
 			}
-			_, err = c.SetFaults(ctx, server.FaultControlRequest{Clear: true})
+			_, err = c.SetFaults(ctx, api.FaultControlRequest{Clear: true})
 			return err
 		},
 		Verify: func(ctx context.Context, c *Client) error {

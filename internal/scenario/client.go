@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,9 +9,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
-	"aryn/internal/server"
+	"aryn/internal/server/api"
 )
 
 // Observation is one recorded HTTP request issued by a scenario.
@@ -25,6 +28,10 @@ type Observation struct {
 	// Failed marks a transport error or a status the scenario did not
 	// accept.
 	Failed bool
+	// FirstEvent is the time to the first SSE event on a streamed request
+	// (zero on plain requests). It is the raw material for the stream
+	// mixes' time-to-first-event SLO.
+	FirstEvent time.Duration
 }
 
 // Recorder receives every Observation a Client makes. Implementations
@@ -150,10 +157,11 @@ func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	}
 }
 
-// Stats fetches the /stats snapshot (typed against the server package, so
-// the harness breaks at compile time if the wire shape drifts).
-func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
-	var out server.StatsResponse
+// Stats fetches the /stats snapshot (typed against the server's api
+// package, so the harness breaks at compile time if the wire shape
+// drifts).
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
 	if _, err := c.do(ctx, http.MethodGet, "/stats", nil, &out, http.StatusOK); err != nil {
 		return nil, err
 	}
@@ -163,8 +171,8 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 // Faults fetches the /faults injector state. Servers started without the
 // chaos endpoint (no -fault-endpoint) answer 404, which surfaces here as
 // an error — chaos scenarios turn that into a clear setup failure.
-func (c *Client) Faults(ctx context.Context) (*server.FaultStateResponse, error) {
-	var out server.FaultStateResponse
+func (c *Client) Faults(ctx context.Context) (*api.FaultStateResponse, error) {
+	var out api.FaultStateResponse
 	if _, err := c.do(ctx, http.MethodGet, "/faults", nil, &out, http.StatusOK); err != nil {
 		return nil, err
 	}
@@ -174,8 +182,8 @@ func (c *Client) Faults(ctx context.Context) (*server.FaultStateResponse, error)
 // SetFaults posts a fault-control request (activate a spec, clear
 // injection, purge the LLM cache) and returns the resulting injector
 // state.
-func (c *Client) SetFaults(ctx context.Context, req server.FaultControlRequest) (*server.FaultStateResponse, error) {
-	var out server.FaultStateResponse
+func (c *Client) SetFaults(ctx context.Context, req api.FaultControlRequest) (*api.FaultStateResponse, error) {
+	var out api.FaultStateResponse
 	if _, err := c.do(ctx, http.MethodPost, "/faults", req, &out, http.StatusOK); err != nil {
 		return nil, err
 	}
@@ -197,6 +205,161 @@ func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
 // status actually received is returned either way.
 func (c *Client) PostJSON(ctx context.Context, path string, body, out any, accept ...int) (int, error) {
 	return c.do(ctx, http.MethodPost, path, body, out, accept...)
+}
+
+// GetJSON fetches path and decodes the response into out, under the same
+// accept/shed contract as PostJSON. Scenarios use it to poll job
+// resources.
+func (c *Client) GetJSON(ctx context.Context, path string, out any, accept ...int) (int, error) {
+	return c.do(ctx, http.MethodGet, path, nil, out, accept...)
+}
+
+// StreamResult summarizes one streamed query: the terminal result plus
+// the streaming-specific measurements (time to first event / first
+// partial batch) the batch path has no equivalent for.
+type StreamResult struct {
+	// Result is the terminal result event's payload — identical in shape
+	// and content to a batch POST /query response for the same request.
+	Result api.QueryResponse
+	// Events counts every SSE event on the stream; Partials counts the
+	// partial-batch events among them, and PartialDocs sums the documents
+	// they carried.
+	Events      int
+	Partials    int
+	PartialDocs int
+	// FirstEvent and FirstPartial are offsets from the request start;
+	// FirstPartial is zero when the plan produced no output documents.
+	FirstEvent   time.Duration
+	FirstPartial time.Duration
+	// Wall is the full stream duration, open to terminal event.
+	Wall time.Duration
+}
+
+// QueryStream runs req over the SSE variant of POST /v1/query, consuming
+// the stream to its terminal event. It enforces the stream contract as it
+// reads — strictly increasing event ids, a result or error terminal — and
+// records one Observation whose Latency is the full stream wall and whose
+// FirstEvent feeds the TTFE SLO. A terminal error event surfaces as an
+// error carrying the envelope's code and message.
+func (c *Client) QueryStream(ctx context.Context, reqBody api.QueryRequest) (*StreamResult, error) {
+	const path = "/v1/query"
+	data, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode stream body: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.observe(Observation{Scenario: c.scenario, Endpoint: path, Latency: time.Since(start), Failed: true})
+		return nil, fmt.Errorf("scenario: POST %s (stream): %w", path, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		latency := time.Since(start)
+		if resp.Header.Get("Retry-After") == "" {
+			c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: resp.StatusCode, Latency: latency, Failed: true})
+			return nil, fmt.Errorf("scenario: %s shed without Retry-After", path)
+		}
+		c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: resp.StatusCode, Latency: latency, Shed: true})
+		return nil, ErrShed
+	}
+	fail := func(format string, args ...any) (*StreamResult, error) {
+		c.observe(Observation{Scenario: c.scenario, Endpoint: path, Status: resp.StatusCode, Latency: time.Since(start), Failed: true})
+		return nil, fmt.Errorf("scenario: stream %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fail("unexpected status %d: %s", resp.StatusCode, snippet)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fail("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	var (
+		out      StreamResult
+		gotFinal bool
+		lastID   int
+		evName   string
+		evID     int
+		evData   []byte
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			if evID, err = strconv.Atoi(strings.TrimPrefix(line, "id: ")); err != nil {
+				return fail("bad SSE id line %q", line)
+			}
+		case strings.HasPrefix(line, "event: "):
+			evName = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			evData = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if evName == "" {
+				continue
+			}
+			if evID <= lastID {
+				return fail("event ids must increase: %d after %d", evID, lastID)
+			}
+			lastID = evID
+			out.Events++
+			if out.FirstEvent == 0 {
+				out.FirstEvent = time.Since(start)
+			}
+			switch evName {
+			case api.EventPartial:
+				var p api.PartialEvent
+				if err := json.Unmarshal(evData, &p); err != nil {
+					return fail("decode partial event: %v", err)
+				}
+				out.Partials++
+				out.PartialDocs += p.Count
+				if out.FirstPartial == 0 {
+					out.FirstPartial = time.Since(start)
+				}
+			case api.EventResult:
+				if err := json.Unmarshal(evData, &out.Result); err != nil {
+					return fail("decode result event: %v", err)
+				}
+				gotFinal = true
+			case api.EventError:
+				var env api.ErrorEnvelope
+				if err := json.Unmarshal(evData, &env); err != nil {
+					return fail("decode error event: %v", err)
+				}
+				return fail("terminal error event %s: %s", env.Error.Code, env.Error.Message)
+			case api.EventProgress, api.EventTrace, api.EventHeartbeat:
+			default:
+				return fail("unexpected event %q", evName)
+			}
+			evName, evID, evData = "", 0, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail("read stream: %v", err)
+	}
+	if !gotFinal {
+		return fail("stream ended without a terminal result event")
+	}
+	out.Wall = time.Since(start)
+	c.observe(Observation{
+		Scenario:   c.scenario,
+		Endpoint:   path,
+		Status:     resp.StatusCode,
+		Latency:    out.Wall,
+		FirstEvent: out.FirstEvent,
+	})
+	return &out, nil
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any, accept ...int) (int, error) {

@@ -10,7 +10,7 @@ import (
 	"sync"
 	"time"
 
-	"aryn/internal/server"
+	"aryn/internal/server/api"
 )
 
 // Mix is a named, weighted blend of scenarios plus the SLO its load
@@ -32,6 +32,11 @@ type SLO struct {
 	MaxShedRate float64 `json:"max_shed_rate"`
 	// MaxErrorRate bounds the failed fraction of requests.
 	MaxErrorRate float64 `json:"max_error_rate"`
+	// TTFE bounds the 95th-percentile time-to-first-event across streamed
+	// requests — the streaming path's own latency promise: how long until
+	// the client sees the first sign of life. Zero = unconstrained (mixes
+	// without streaming scenarios).
+	TTFE time.Duration `json:"ttfe_p95_ns,omitempty"`
 }
 
 // Check returns every SLO violation in r (empty = the report meets the
@@ -46,6 +51,13 @@ func (s SLO) Check(r *Report) []string {
 	}
 	if r.ErrorRate > s.MaxErrorRate {
 		v = append(v, fmt.Sprintf("error rate %.3f exceeds the %.3f target", r.ErrorRate, s.MaxErrorRate))
+	}
+	if s.TTFE > 0 {
+		if r.StreamRequests == 0 {
+			v = append(v, "mix pins a TTFE SLO but the run made no streamed requests")
+		} else if r.TTFEP95MS > float64(s.TTFE.Milliseconds()) {
+			v = append(v, fmt.Sprintf("stream TTFE p95 %.1fms exceeds the %s target", r.TTFEP95MS, s.TTFE))
+		}
 	}
 	return v
 }
@@ -85,6 +97,20 @@ func Mixes() []Mix {
 				"ingest-multi-corpus": 1,
 			},
 			SLO: SLO{P99: 6 * time.Second, MaxShedRate: 1.0, MaxErrorRate: 0.01},
+		},
+		{
+			Name:        "stream",
+			Description: "Streaming-first clients: SSE queries with a time-to-first-event promise, async ingest jobs churning behind the read path, and plain reads in between",
+			Weights: map[string]int{
+				"query-stream":  4,
+				"query-oneshot": 2,
+				"ingest-async":  1,
+			},
+			// Sheds come from the bounded job queue under sustained async
+			// submissions — expected back-pressure, not failure. The TTFE
+			// bound is the streaming path's own SLO: first event well before
+			// the full answer would have arrived.
+			SLO: SLO{P99: 5 * time.Second, MaxShedRate: 0.75, MaxErrorRate: 0, TTFE: 1500 * time.Millisecond},
 		},
 	}
 }
@@ -173,6 +199,14 @@ type Report struct {
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
 	MaxMS float64 `json:"max_ms"`
+
+	// Stream figures cover SSE requests only: how many there were and the
+	// time-to-first-event distribution (the pinned streaming SLO). Zero
+	// when the mix contains no streaming scenario.
+	StreamRequests int     `json:"stream_requests,omitempty"`
+	TTFEP50MS      float64 `json:"ttfe_p50_ms,omitempty"`
+	TTFEP95MS      float64 `json:"ttfe_p95_ms,omitempty"`
+	TTFEMaxMS      float64 `json:"ttfe_max_ms,omitempty"`
 
 	ErrorRate float64 `json:"error_rate"`
 	ShedRate  float64 `json:"shed_rate"`
@@ -319,7 +353,7 @@ loop:
 
 // aggregate folds per-request observations and the server-side stats
 // delta into a Report.
-func aggregate(mixName string, obs []Observation, elapsed time.Duration, targetQPS float64, before, after *server.StatsResponse) *Report {
+func aggregate(mixName string, obs []Observation, elapsed time.Duration, targetQPS float64, before, after *api.StatsResponse) *Report {
 	r := &Report{
 		Mix:        mixName,
 		Requests:   len(obs),
@@ -330,8 +364,12 @@ func aggregate(mixName string, obs []Observation, elapsed time.Duration, targetQ
 		r.AchievedQPS = round2(float64(len(obs)) / elapsed.Seconds())
 	}
 	latencies := make([]float64, 0, len(obs))
+	var ttfes []float64
 	for _, o := range obs {
 		latencies = append(latencies, float64(o.Latency.Microseconds())/1000)
+		if o.FirstEvent > 0 {
+			ttfes = append(ttfes, float64(o.FirstEvent.Microseconds())/1000)
+		}
 		if o.Shed {
 			r.Shed++
 		}
@@ -345,6 +383,13 @@ func aggregate(mixName string, obs []Observation, elapsed time.Duration, targetQ
 	r.P99MS = percentile(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		r.MaxMS = latencies[n-1]
+	}
+	sort.Float64s(ttfes)
+	r.StreamRequests = len(ttfes)
+	r.TTFEP50MS = percentile(ttfes, 0.50)
+	r.TTFEP95MS = percentile(ttfes, 0.95)
+	if n := len(ttfes); n > 0 {
+		r.TTFEMaxMS = ttfes[n-1]
 	}
 	if len(obs) > 0 {
 		r.ErrorRate = round4(float64(r.Failed) / float64(len(obs)))

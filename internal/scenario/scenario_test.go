@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -10,8 +11,11 @@ import (
 
 	"aryn/internal/core"
 	"aryn/internal/fault"
+	"aryn/internal/llm"
+	"aryn/internal/ntsb"
 	"aryn/internal/resilience"
 	"aryn/internal/server"
+	"aryn/internal/server/api"
 )
 
 // sharedSys is one system per test binary, ingested lazily by the
@@ -110,6 +114,7 @@ func TestScenariosAreSelfDescribing(t *testing.T) {
 	for _, want := range []string{
 		"ingest-multi-corpus", "plan-edit-roundtrip", "explain-analyze",
 		"chat-session", "chat-expiry", "overload-shed", "query-oneshot",
+		"query-stream", "ingest-async",
 		"chaos-llm-outage", "chaos-flaky-backend", "chaos-cache-kill",
 		"chaos-ingest-saturation",
 	} {
@@ -117,6 +122,80 @@ func TestScenariosAreSelfDescribing(t *testing.T) {
 			t.Errorf("built-in scenario %q missing from the registry", want)
 		}
 	}
+}
+
+// TestStreamFirstPartialBeatsBatch is the acceptance proof for streamed
+// execution: against a backend with real per-call latency, the SSE path
+// delivers its first partial batch strictly before the batch path's total
+// wall for the same plan at the same cache temperature — the LLM cache is
+// purged between runs so both pay the full cold cost.
+func TestStreamFirstPartialBeatsBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock latency bound")
+	}
+	ctx := context.Background()
+	inj := fault.New(fault.Spec{})
+	sys := core.New(core.Config{
+		Seed:        11,
+		Parallelism: 4,
+		LLMMaxBatch: 1,
+		LLMOptions:  []llm.SimOption{llm.WithLatency(20 * time.Millisecond)},
+		Fault:       inj,
+		// Per-document streaming hand-off: the first document to clear the
+		// filter reaches the client immediately instead of waiting for a
+		// default-sized batch to fill.
+		StreamBatch: 1,
+	})
+	corpus, err := ntsb.GenerateCorpus(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := corpus.Blobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Ingest(ctx, blobs); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(sys, server.Config{Fault: inj})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	c := NewClient(ts.URL, WithParams(shortParams()))
+	plan := json.RawMessage(streamFilterPlan)
+
+	// Batch-mode wall, cache-cold: 32 llmFilter calls at 20ms each with
+	// batching disabled keep it in the hundreds of milliseconds.
+	var batch api.QueryResponse
+	start := time.Now()
+	if _, err := c.PostJSON(ctx, "/v1/query", api.QueryRequest{Plan: plan}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	batchWall := time.Since(start)
+
+	// Purge the response cache so the streamed run pays the same cost.
+	if _, err := c.SetFaults(ctx, api.FaultControlRequest{PurgeLLMCache: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.QueryStream(ctx, api.QueryRequest{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Answer != batch.Answer || st.Result.Docs != batch.Docs {
+		t.Fatalf("stream (answer %q, docs %d) != batch (answer %q, docs %d)",
+			st.Result.Answer, st.Result.Docs, batch.Answer, batch.Docs)
+	}
+	if st.Partials == 0 || st.FirstPartial == 0 {
+		t.Fatalf("stream carried no partial batches (events %d); nothing pipelined", st.Events)
+	}
+	if st.FirstPartial >= batchWall {
+		t.Errorf("first partial at %s did not beat the %s batch wall", st.FirstPartial, batchWall)
+	}
+	t.Logf("batch wall %s, stream first partial %s, stream wall %s (%d partials)",
+		batchWall, st.FirstPartial, st.Wall, st.Partials)
 }
 
 // TestChatExpiryRealTTL proves the expiry scenario detects a real TTL

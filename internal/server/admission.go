@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"aryn/internal/server/api"
 )
 
 // gate is the bounded admission-control layer: at most slots requests
@@ -94,14 +96,9 @@ func (g *gate) retryAfter() time.Duration {
 	return g.maxWait
 }
 
-// gateStats is the admission snapshot reported by /stats.
-type gateStats struct {
-	InFlight    int64 `json:"in_flight"`
-	Waiters     int64 `json:"waiters"`
-	WaitersHigh int64 `json:"waiters_high_water"`
-	Admitted    int64 `json:"admitted"`
-	Shed        int64 `json:"shed"`
-}
+// gateStats is the admission snapshot reported by /stats (the wire shape
+// lives in the api package).
+type gateStats = api.GateStats
 
 func (g *gate) stats() gateStats {
 	return gateStats{

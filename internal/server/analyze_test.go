@@ -99,8 +99,8 @@ func TestPlanAnalyzeInvalidPlan400(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("analyze(bad plan) status = %d, want 400", resp.StatusCode)
 	}
-	if len(errOut.Errors) == 0 {
-		t.Errorf("structured errors missing: %+v", errOut)
+	if len(errOut.Error.Details) == 0 {
+		t.Errorf("structured error details missing: %+v", errOut)
 	}
 }
 

@@ -142,7 +142,7 @@ func TestQueryTimeoutBudget(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504 when the request budget fires", resp.StatusCode)
 	}
-	if out.Error == "" || out.TraceID == "" {
-		t.Errorf("timeout error body incomplete: %+v", out)
+	if out.Error.Code != "timeout" || out.Error.Message == "" || out.TraceID == "" {
+		t.Errorf("timeout error envelope incomplete: %+v", out)
 	}
 }

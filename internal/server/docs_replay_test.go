@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,10 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"aryn/internal/core"
+	"aryn/internal/server/api"
 )
 
 // docs_replay_test replays every HTTP example in docs/plan-api.md against
@@ -222,6 +227,187 @@ func fencedBlocks(doc, lang string) []string {
 	}
 }
 
+// ---- docs/streaming-api.md replay ----
+
+// sseCurlRE matches the doc's streamed-query curl examples; asyncCurlRE
+// matches the async-ingest submission example.
+var (
+	sseCurlRE   = regexp.MustCompile(`(?s)curl -sN -X POST :8088(/v1/[a-z]+) -H 'Accept: text/event-stream' -d '(.*?)'`)
+	asyncCurlRE = regexp.MustCompile(`(?s)curl -s -X POST :8088(/v1/ingest) -d '(.*?)'`)
+)
+
+func readStreamingAPIDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "streaming-api.md"))
+	if err != nil {
+		t.Fatalf("read docs/streaming-api.md: %v", err)
+	}
+	return string(data)
+}
+
+// TestStreamingAPIDocExamplesReplay executes the streamed-query and
+// async-ingest curl examples from docs/streaming-api.md against a live
+// handler and holds them to the contract the doc states: a well-formed
+// event stream with strictly increasing ids ending in one terminal
+// result whose partial counts sum to its doc count, and a 202 job that
+// runs to completion and stays pollable (JSON and SSE).
+func TestStreamingAPIDocExamplesReplay(t *testing.T) {
+	doc := readStreamingAPIDoc(t)
+	// A dedicated system: the ingest example below grows the corpus, which
+	// must not leak into the tests sharing readySystem.
+	sys, err := buildSystem(core.Config{Seed: 7, Parallelism: 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, sys, Config{StreamProgress: 20 * time.Millisecond})
+	ctx := context.Background()
+
+	streamed := sseCurlRE.FindAllStringSubmatch(doc, -1)
+	ranQuery := false
+	for i, ex := range streamed {
+		path, payload := ex[1], ex[2]
+		if path != "/v1/query" {
+			continue
+		}
+		ranQuery = true
+		t.Run(fmt.Sprintf("sse_example_%d", i+1), func(t *testing.T) {
+			if !json.Valid([]byte(payload)) {
+				t.Fatalf("documented payload is not valid JSON:\n%s", payload)
+			}
+			resp := sseOpen(t, ctx, http.MethodPost, ts.URL+path, json.RawMessage(payload))
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("documented stream example got status %d", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+				t.Fatalf("stream content type %q", ct)
+			}
+			events := readSSE(t, resp.Body)
+			checkDocumentedStream(t, doc, events)
+		})
+	}
+	if !ranQuery {
+		t.Fatal("docs/streaming-api.md has no streamed /v1/query curl example")
+	}
+
+	ingests := asyncCurlRE.FindAllStringSubmatch(doc, -1)
+	if len(ingests) == 0 {
+		t.Fatal("docs/streaming-api.md has no async /v1/ingest curl example")
+	}
+	for i, ex := range ingests {
+		path, payload := ex[1], ex[2]
+		t.Run(fmt.Sprintf("ingest_example_%d", i+1), func(t *testing.T) {
+			var req struct {
+				Docs int `json:"docs"`
+			}
+			if err := json.Unmarshal([]byte(payload), &req); err != nil {
+				t.Fatalf("documented payload is not valid JSON: %v\n%s", err, payload)
+			}
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("doc promises 202 Accepted, got %d", resp.StatusCode)
+			}
+			var acc api.JobAccepted
+			if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+				t.Fatal(err)
+			}
+			if acc.JobID == "" || acc.Location != "/v1/jobs/"+acc.JobID {
+				t.Fatalf("doc promises job_id + location: %+v", acc)
+			}
+			if got := resp.Header.Get("Location"); got != acc.Location {
+				t.Errorf("Location header %q != body location %q", got, acc.Location)
+			}
+			job := pollJobDone(t, ts.URL+acc.Location)
+			if job.Result == nil || job.Result.Documents < req.Docs {
+				t.Fatalf("done job should carry >= %d ingested documents: %+v", req.Docs, job.Result)
+			}
+			// The doc's SSE poll example (placeholder job id substituted):
+			// a terminal job's stream is exactly one terminal result event.
+			sresp := sseOpen(t, ctx, http.MethodGet, ts.URL+acc.Location, nil)
+			defer sresp.Body.Close()
+			events := readSSE(t, sresp.Body)
+			if len(events) == 0 || events[len(events)-1].name != api.EventResult {
+				t.Fatalf("job SSE poll should end in a result event, got %v", eventNames(events))
+			}
+		})
+	}
+}
+
+// pollJobDone polls the job URL (as the doc instructs) until terminal.
+func pollJobDone(t *testing.T, url string) api.JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job api.JobResponse
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch job.State {
+		case api.JobDone:
+			return job
+		case api.JobFailed:
+			t.Fatalf("documented ingest example failed: %+v", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after deadline", job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkDocumentedStream asserts the contract bullets the doc states for
+// a streamed query, and that the doc's event table covers every event
+// name the server actually emitted.
+func checkDocumentedStream(t *testing.T, doc string, events []sseEvent) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("stream carried no events")
+	}
+	progress, partialDocs := 0, 0
+	for i, ev := range events {
+		if ev.id != i+1 {
+			t.Fatalf("event %d has id %d: ids must increase strictly from 1", i, ev.id)
+		}
+		if !strings.Contains(doc, "`"+ev.name+"`") {
+			t.Errorf("server emitted event %q the doc's table does not document", ev.name)
+		}
+		switch ev.name {
+		case api.EventProgress:
+			progress++
+		case api.EventPartial:
+			var p api.PartialEvent
+			decodeEvent(t, ev, &p)
+			partialDocs += p.Count
+		case api.EventResult, api.EventError:
+			if i != len(events)-1 {
+				t.Fatalf("terminal %s event at position %d of %d", ev.name, i+1, len(events))
+			}
+		}
+	}
+	last := events[len(events)-1]
+	if last.name != api.EventResult {
+		t.Fatalf("documented example should end in a result event, got %v", eventNames(events))
+	}
+	if progress == 0 {
+		t.Error("doc promises at least one progress event per stream")
+	}
+	var res api.QueryResponse
+	decodeEvent(t, last, &res)
+	if partialDocs > 0 && partialDocs != res.Docs {
+		t.Errorf("partial counts sum to %d but terminal result has %d docs", partialDocs, res.Docs)
+	}
+}
+
 // TestPlanAPIDocStructuredErrors pins §4: the documented invalid plan
 // comes back 400 with every documented error string in the structured
 // array.
@@ -243,17 +429,17 @@ func TestPlanAPIDocStructuredErrors(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
-	if er.Error == "" || er.TraceID == "" {
-		t.Errorf("400 must carry error and trace_id: %+v", er)
+	if er.Error.Code != "invalid_plan" || er.Error.Message == "" || er.TraceID == "" {
+		t.Errorf("400 must carry the error envelope with code and trace_id: %+v", er)
 	}
-	joined := strings.Join(er.Errors, "\n")
+	joined := strings.Join(er.Error.Details, "\n")
 	for _, want := range []string{
 		`filter field "hallucinated" not in schema`,
 		`unknown filter kind "fuzzy"`,
 		`llmFilter requires a question`,
 	} {
 		if !strings.Contains(joined, want) {
-			t.Errorf("documented error %q missing from errors array: %v", want, er.Errors)
+			t.Errorf("documented error %q missing from details array: %v", want, er.Error.Details)
 		}
 	}
 }

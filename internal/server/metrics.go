@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"aryn/internal/server/api"
 )
 
 // endpointCounters accumulates per-route serving metrics. All fields are
@@ -42,18 +44,9 @@ func (e *endpointCounters) record(status int, elapsed time.Duration) {
 }
 
 // EndpointStats is one route's /stats snapshot — the counters the
-// arynload benchmark harness reads (docs/operations.md documents each
-// field).
-type EndpointStats struct {
-	Requests     int64   `json:"requests"`
-	OK           int64   `json:"ok"`
-	ClientErrors int64   `json:"client_errors"`
-	ServerErrors int64   `json:"server_errors"`
-	Shed         int64   `json:"shed"`
-	TotalMS      int64   `json:"total_ms"`
-	MeanMS       float64 `json:"mean_ms"`
-	MaxMS        int64   `json:"max_ms"`
-}
+// arynload benchmark harness reads (the wire shape lives in the api
+// package; docs/operations.md documents each field).
+type EndpointStats = api.EndpointStats
 
 func (e *endpointCounters) snapshot() EndpointStats {
 	s := EndpointStats{
@@ -81,6 +74,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush passes through to the underlying writer so SSE handlers can push
+// each event immediately (the metrics wrapper must not buffer a stream).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // counted wraps h with the per-endpoint metrics for route.

@@ -122,13 +122,16 @@ func TestInvalidPlanReturnsStructuredErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s invalid plan status = %d, want 400", path, resp.StatusCode)
 		}
-		if len(errOut.Errors) < 3 {
-			t.Errorf("%s should list all validation failures, got %q", path, errOut.Errors)
+		if errOut.Error.Code != "invalid_plan" {
+			t.Errorf("%s error code = %q, want invalid_plan", path, errOut.Error.Code)
 		}
-		joined := strings.Join(errOut.Errors, "\n")
+		if len(errOut.Error.Details) < 3 {
+			t.Errorf("%s should list all validation failures, got %q", path, errOut.Error.Details)
+		}
+		joined := strings.Join(errOut.Error.Details, "\n")
 		for _, want := range []string{"hallucinated", "filter kind", "llmFilter requires a question"} {
 			if !strings.Contains(joined, want) {
-				t.Errorf("%s errors missing %q: %q", path, want, errOut.Errors)
+				t.Errorf("%s errors missing %q: %q", path, want, errOut.Error.Details)
 			}
 		}
 	}

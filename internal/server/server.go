@@ -14,10 +14,10 @@ import (
 
 	"aryn/internal/core"
 	"aryn/internal/fault"
-	"aryn/internal/llm"
 	"aryn/internal/luna"
 	"aryn/internal/ntsb"
 	"aryn/internal/resilience"
+	"aryn/internal/server/api"
 )
 
 // Config tunes the serving layer. Zero values pick sane defaults.
@@ -48,6 +48,19 @@ type Config struct {
 	MaxIngestBodyBytes int64
 	// MaxBodyBytes caps every other request body (default 1 MiB).
 	MaxBodyBytes int64
+	// StreamHeartbeat is the SSE heartbeat cadence (default 10s) — often
+	// enough that idle proxies keep the connection open, rare enough to
+	// stay out of the data's way.
+	StreamHeartbeat time.Duration
+	// StreamProgress is the SSE progress-snapshot cadence (default 250ms):
+	// how often a streaming query or job emits per-node counters.
+	StreamProgress time.Duration
+	// JobTTL is how long a terminal (done/failed) ingest job stays
+	// pollable before the janitor reaps it (default 10m).
+	JobTTL time.Duration
+	// MaxQueuedJobs bounds ingest jobs waiting for the worker; submissions
+	// beyond it are shed with 429 (default 4).
+	MaxQueuedJobs int
 	// Fault, when set, exposes the dev-only /faults endpoint controlling
 	// the injector (wire the same injector into core.Config.Fault). Leave
 	// nil in production deployments: the route is simply absent.
@@ -85,6 +98,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 10 * time.Second
+	}
+	if c.StreamProgress <= 0 {
+		c.StreamProgress = 250 * time.Millisecond
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.MaxQueuedJobs <= 0 {
+		c.MaxQueuedJobs = 4
+	}
 	return c
 }
 
@@ -94,6 +119,7 @@ type Server struct {
 	cfg       Config
 	gate      *gate
 	sessions  *sessionTable
+	jobs      *jobManager
 	mux       *http.ServeMux
 	start     time.Time
 	endpoints map[string]*endpointCounters
@@ -121,26 +147,55 @@ func New(sys *core.System, cfg Config) *Server {
 		start:     time.Now(),
 		endpoints: map[string]*endpointCounters{},
 	}
-	routes := []string{"/healthz", "/stats", "/ingest", "/plan", "/query", "/chat"}
+	s.jobs = newJobManager(s, cfg.JobTTL, cfg.MaxQueuedJobs)
+	routes := []string{"/healthz", "/stats", "/ingest", "/plan", "/query", "/chat", "/jobs"}
 	if cfg.Fault != nil {
 		routes = append(routes, "/faults")
 	}
 	for _, route := range routes {
 		s.endpoints[route] = &endpointCounters{}
 	}
-	s.mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /stats", s.counted("/stats", s.handleStats))
-	s.mux.HandleFunc("POST /ingest", s.counted("/ingest", s.gated(s.handleIngest)))
-	s.mux.HandleFunc("POST /plan", s.counted("/plan", s.gated(s.handlePlan)))
-	s.mux.HandleFunc("POST /query", s.counted("/query", s.gated(s.handleQuery)))
-	s.mux.HandleFunc("POST /chat", s.counted("/chat", s.gated(s.handleChat)))
+	s.route("GET", "/healthz", s.handleHealthz)
+	s.route("GET", "/stats", s.handleStats)
+	s.route("POST", "/plan", s.gated(s.handlePlan))
+	s.route("POST", "/query", s.gated(s.handleQuery))
+	s.route("POST", "/chat", s.gated(s.handleChat))
+	// Ingest splits by version: the canonical /v1 route is the async job
+	// API (202 + pollable job), the legacy alias keeps the synchronous
+	// contract for one release. Both share the /ingest counter.
+	s.mux.HandleFunc("POST /v1/ingest", s.counted("/ingest", s.handleIngestAsync))
+	s.mux.HandleFunc("POST /ingest", s.deprecated("/v1/ingest", s.counted("/ingest", s.gated(s.handleIngest))))
+	// Jobs are new in /v1 — no legacy alias to deprecate.
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.counted("/jobs", s.handleJob))
 	if cfg.Fault != nil {
 		// Dev-only chaos control plane: not gated (a saturated or faulted
 		// server must still accept "clear the faults").
-		s.mux.HandleFunc("GET /faults", s.counted("/faults", s.handleFaultsGet))
-		s.mux.HandleFunc("POST /faults", s.counted("/faults", s.handleFaultsPost))
+		s.route("GET", "/faults", s.handleFaultsGet)
+		s.route("POST", "/faults", s.handleFaultsPost)
 	}
 	return s
+}
+
+// route mounts h at its canonical /v1 path and keeps the legacy
+// unprefixed path as a deprecated alias (answering with a Deprecation
+// header and a successor-version Link). Both record into one counter
+// keyed by the unversioned route name, so /stats reports logical
+// endpoints, not spellings.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	counted := s.counted(path, h)
+	s.mux.HandleFunc(method+" /v1"+path, counted)
+	s.mux.HandleFunc(method+" "+path, s.deprecated("/v1"+path, counted))
+}
+
+// deprecated marks a legacy route alias per the versioning policy in
+// docs/streaming-api.md: the response carries "Deprecation: true" and a
+// Link header naming the successor route.
+func (s *Server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+		h(w, r)
+	}
 }
 
 // Handler returns the root handler (trace-ID middleware over the mux).
@@ -154,8 +209,12 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Close stops background work (the session janitor).
-func (s *Server) Close() { s.sessions.close() }
+// Close stops background work (the session janitor, the ingest-job
+// worker and janitor).
+func (s *Server) Close() {
+	s.sessions.close()
+	s.jobs.close()
+}
 
 // workCtx bounds one query/chat execution by RequestTimeout; a negative
 // timeout means unlimited (the work still dies with the client).
@@ -187,168 +246,26 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // ---- request / response shapes ----
+//
+// The wire types live in the api package so the scenario harness and
+// external clients share them; the aliases below keep this package's
+// historical names working.
 
-// IngestRequest loads documents: either raw blobs (base64 rawdoc
-// binaries keyed by document ID) or a generated synthetic NTSB corpus.
-type IngestRequest struct {
-	// Blobs are base64-encoded rawdoc binaries keyed by document ID.
-	Blobs map[string]string `json:"blobs,omitempty"`
-	// Docs generates that many synthetic NTSB reports when Blobs is empty.
-	Docs int `json:"docs,omitempty"`
-	// Seed drives the synthetic corpus (default 42).
-	Seed int64 `json:"seed,omitempty"`
-}
-
-// IngestResponse summarizes one ingest run.
-type IngestResponse struct {
-	TraceID   string         `json:"trace_id"`
-	Documents int            `json:"documents"`
-	Chunks    int            `json:"chunks"`
-	Elements  int            `json:"elements"`
-	WallMS    int64          `json:"wall_ms"`
-	Usage     llm.Usage      `json:"usage"`
-	LLM       llm.StackStats `json:"llm"`
-}
-
-// QueryRequest is a one-shot question — or a user-edited plan to execute
-// (exactly one of Question/Plan drives execution; Plan wins when both are
-// set, with Question kept as the display label).
-type QueryRequest struct {
-	Question string `json:"question,omitempty"`
-	// Plan is a logical plan to execute directly after validation (the
-	// §6.2 "modify any part of the plan" path). Accepts the DAG form
-	// {"nodes": [...], "output": ...} and the legacy {"ops": [...]} form.
-	Plan json.RawMessage `json:"plan,omitempty"`
-	// RAG answers through the retrieval-augmented baseline instead of Luna.
-	RAG bool `json:"rag,omitempty"`
-	// IncludePlan attaches the original and rewritten plan JSON plus the
-	// compiled physical pipeline to the response.
-	IncludePlan bool `json:"include_plan,omitempty"`
-}
-
-// PlanDetail carries every stage of a query's plan: what the planner
-// emitted (or the user submitted), what the optimizer made of it, the
-// physical pipeline it lowers to — and, when the query executed, the
-// EXPLAIN ANALYZE view: the plan annotated with per-node runtime metrics
-// (wall/busy time, docs in/out, LLM calls/tokens/cache hits, retries).
-type PlanDetail struct {
-	Original  json.RawMessage `json:"original,omitempty"`
-	Rewritten json.RawMessage `json:"rewritten,omitempty"`
-	Compiled  string          `json:"compiled,omitempty"`
-	// Executed is the rewritten plan with a "runtime" object per node and
-	// an "exec" query-level summary (wall_ms, worker budget, scheduled
-	// branches). Present on executed queries (POST /query with
-	// include_plan, POST /plan with analyze).
-	Executed json.RawMessage `json:"executed,omitempty"`
-}
-
-// QueryResponse is the answer to a one-shot question.
-type QueryResponse struct {
-	TraceID  string          `json:"trace_id"`
-	Question string          `json:"question"`
-	Answer   string          `json:"answer"`
-	Kind     string          `json:"kind,omitempty"`
-	Docs     int             `json:"docs,omitempty"`
-	Plan     *PlanDetail     `json:"plan,omitempty"`
-	LLM      *llm.StackStats `json:"llm,omitempty"`
-	WallMS   int64           `json:"wall_ms"`
-	// Degraded marks a retrieval-only fallback answer served because the
-	// model backend was unavailable (circuit open or retries exhausted);
-	// DegradedReason says why. The request still succeeded (200) — the
-	// degradation contract is "a worse answer, never a 500".
-	Degraded       bool   `json:"degraded,omitempty"`
-	DegradedReason string `json:"degraded_reason,omitempty"`
-}
-
-// PlanRequest plans a question — or dry-runs an edited plan — without
-// executing anything, unless Analyze asks for EXPLAIN ANALYZE.
-type PlanRequest struct {
-	Question string `json:"question,omitempty"`
-	// Plan, when set, is validated, rewritten, and compiled instead of
-	// calling the planner (a dry run for hand-edited plans).
-	Plan json.RawMessage `json:"plan,omitempty"`
-	// Analyze executes the plan (or planned question) and returns the
-	// executed plan annotated with per-node runtime metrics — EXPLAIN
-	// ANALYZE: full runtime feedback without the answer payload.
-	Analyze bool `json:"analyze,omitempty"`
-}
-
-// PlanResponse is the inspectable half of the inspect→edit→re-run loop.
-type PlanResponse struct {
-	TraceID  string     `json:"trace_id"`
-	Question string     `json:"question,omitempty"`
-	Plan     PlanDetail `json:"plan"`
-	WallMS   int64      `json:"wall_ms"`
-}
-
-// ChatRequest is one conversational turn. Omit SessionID to open a new
-// session; reuse the returned one for follow-ups ("what about …").
-type ChatRequest struct {
-	SessionID string `json:"session_id,omitempty"`
-	Question  string `json:"question"`
-}
-
-// ChatResponse is one conversational answer.
-type ChatResponse struct {
-	TraceID   string `json:"trace_id"`
-	SessionID string `json:"session_id"`
-	// Turn is the 1-based conversation length after this exchange —
-	// clients can assert their session state was neither lost nor
-	// interleaved with another session's.
-	Turn   int    `json:"turn"`
-	Answer string `json:"answer"`
-	Kind   string `json:"kind,omitempty"`
-	WallMS int64  `json:"wall_ms"`
-	// Degraded/DegradedReason mirror QueryResponse: a retrieval-only
-	// fallback turn (not recorded in the conversation history — follow-ups
-	// never resolve against a degraded answer).
-	Degraded       bool   `json:"degraded,omitempty"`
-	DegradedReason string `json:"degraded_reason,omitempty"`
-}
-
-// StatsResponse is the /stats snapshot.
-type StatsResponse struct {
-	TraceID  string    `json:"trace_id"`
-	UptimeMS int64     `json:"uptime_ms"`
-	Requests int64     `json:"requests"`
-	Ready    bool      `json:"ready"`
-	Docs     int       `json:"docs"`
-	Chunks   int       `json:"chunks"`
-	Usage    llm.Usage `json:"usage"`
-	// UsageFailed is spend carried by calls that ultimately errored
-	// (retry storms, injected faults) — kept out of Usage so delivered
-	// answers' accounting stays honest.
-	UsageFailed llm.Usage      `json:"usage_failed"`
-	LLM         llm.StackStats `json:"llm"`
-	Gate        gateStats      `json:"admission"`
-	Sessions    sessionStats   `json:"sessions"`
-	// Resilience reports the retry/breaker middleware (nil when the system
-	// was built without it); Fault reports the chaos injector (nil when
-	// not wired). Degraded/DegradedServed summarize degraded-mode serving.
-	Resilience     *resilience.Stats `json:"resilience,omitempty"`
-	Fault          *fault.Stats      `json:"fault,omitempty"`
-	Degraded       bool              `json:"degraded"`
-	DegradedServed int64             `json:"degraded_served"`
-	// Endpoints breaks the traffic down per route: request counts by
-	// outcome class (ok / client error / server error / shed) plus
-	// cumulative and max handler latency — the server-side counters the
-	// arynload harness and operators read.
-	Endpoints map[string]EndpointStats `json:"endpoints"`
-}
-
-type sessionStats struct {
-	Live    int   `json:"live"`
-	Evicted int64 `json:"evicted"`
-}
-
-type errorResponse struct {
-	Error   string `json:"error"`
-	TraceID string `json:"trace_id"`
-	// Errors lists every individual plan-validation failure when the
-	// error aggregates several (one round trip shows a plan editor every
-	// problem).
-	Errors []string `json:"errors,omitempty"`
-}
+type (
+	IngestRequest       = api.IngestRequest
+	IngestResponse      = api.IngestResponse
+	QueryRequest        = api.QueryRequest
+	PlanDetail          = api.PlanDetail
+	QueryResponse       = api.QueryResponse
+	PlanRequest         = api.PlanRequest
+	PlanResponse        = api.PlanResponse
+	ChatRequest         = api.ChatRequest
+	ChatResponse        = api.ChatResponse
+	StatsResponse       = api.StatsResponse
+	FaultControlRequest = api.FaultControlRequest
+	FaultStateResponse  = api.FaultStateResponse
+	errorResponse       = api.ErrorEnvelope
+)
 
 // ---- handlers ----
 
@@ -396,7 +313,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UsageFailed:    s.sys.LLM.FailedUsage(),
 		LLM:            s.sys.LLMStats(),
 		Gate:           s.gate.stats(),
-		Sessions:       sessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
+		Sessions:       api.SessionStats{Live: s.sessions.count(), Evicted: s.sessions.evictedCount()},
+		Jobs:           s.jobs.stats(),
 		Degraded:       degraded,
 		DegradedServed: s.degradedServed.Load(),
 		Endpoints:      endpoints,
@@ -618,6 +536,15 @@ func (s *Server) maybeDegrade(w http.ResponseWriter, r *http.Request, question s
 	if !resilience.Unavailable(err) || r.Context().Err() != nil {
 		return false
 	}
+	out := s.degradedQueryResponse(r, question, includePlan, res, err, start)
+	s.writeJSON(w, http.StatusOK, out)
+	return true
+}
+
+// degradedQueryResponse builds the retrieval-only fallback answer shared
+// by the JSON and SSE query paths (the caller has already established
+// the error is degradable).
+func (s *Server) degradedQueryResponse(r *http.Request, question string, includePlan bool, res *luna.Result, err error, start time.Time) QueryResponse {
 	answer, docs := s.sys.RetrievalOnly(question, 5)
 	out := QueryResponse{
 		TraceID:        traceFrom(r.Context()),
@@ -635,11 +562,14 @@ func (s *Server) maybeDegrade(w http.ResponseWriter, r *http.Request, question s
 		out.Plan = &d
 	}
 	s.degradedServed.Add(1)
-	s.writeJSON(w, http.StatusOK, out)
-	return true
+	return out
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if wantsSSE(r) {
+		s.handleQueryStream(w, r)
+		return
+	}
 	var req QueryRequest
 	if !s.decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
 		return
@@ -823,30 +753,6 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 
 // ---- fault control (dev-only chaos API) ----
 
-// FaultControlRequest mutates the fault injector: activate a spec, clear
-// all faults, and/or purge the LLM response cache (the cache-killed
-// chaos move). Spec and Clear are mutually exclusive; Clear wins.
-type FaultControlRequest struct {
-	// Spec activates a new fault spec (replacing the current one; outage
-	// windows re-anchor to now).
-	Spec *fault.Spec `json:"spec,omitempty"`
-	// Clear deactivates all fault injection.
-	Clear bool `json:"clear,omitempty"`
-	// PurgeLLMCache drops every resident LLM response-cache entry.
-	PurgeLLMCache bool `json:"purge_llm_cache,omitempty"`
-}
-
-// FaultStateResponse reports the injector state after a control request
-// (and on GET).
-type FaultStateResponse struct {
-	TraceID string      `json:"trace_id"`
-	Spec    fault.Spec  `json:"spec"`
-	Active  bool        `json:"active"`
-	Stats   fault.Stats `json:"stats"`
-	// PurgedCacheEntries reports how many cache entries a purge dropped.
-	PurgedCacheEntries int `json:"purged_cache_entries,omitempty"`
-}
-
 func (s *Server) faultState(r *http.Request, purged int) FaultStateResponse {
 	spec := s.cfg.Fault.Spec()
 	return FaultStateResponse{
@@ -906,10 +812,13 @@ func statusOf(err error) int {
 // decodeBody decodes a JSON request body capped at limit bytes, writing
 // the error response itself (413 over the cap, 400 malformed). Without
 // the cap one huge body could exhaust memory and collapse the server the
-// admission gate is there to protect.
+// admission gate is there to protect. Unknown fields are rejected: a
+// typo'd knob silently ignored is worse than a 400 that names it.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, limit)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.writeError(w, r, http.StatusRequestEntityTooLarge,
@@ -930,6 +839,41 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorBody renders err as the unified envelope's inner object: a
+// machine-matchable code derived from the HTTP status (refined by error
+// identity where one status covers several conditions) plus the human
+// message and any structured sub-failures.
+func errorBody(status int, err error) api.ErrorBody {
+	body := api.ErrorBody{Message: err.Error()}
+	switch status {
+	case http.StatusBadRequest:
+		body.Code = api.CodeBadRequest
+		if errors.Is(err, luna.ErrInvalidPlan) {
+			body.Code = api.CodeInvalidPlan
+		}
+	case http.StatusNotFound:
+		body.Code = api.CodeNotFound
+	case http.StatusConflict:
+		body.Code = api.CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		body.Code = api.CodeTooLarge
+	case http.StatusTooManyRequests:
+		body.Code = api.CodeSaturated
+	case http.StatusServiceUnavailable:
+		body.Code = api.CodeUnavailable
+	case http.StatusGatewayTimeout:
+		body.Code = api.CodeTimeout
+	default:
+		body.Code = api.CodeInternal
+	}
+	if errors.Is(err, luna.ErrInvalidPlan) {
+		// errors.Join aggregates node-level validation failures; the
+		// structured array lets a plan editor show them all at once.
+		body.Details = luna.Issues(err)
+	}
+	return body
+}
+
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if after, ok := resilience.RetryAfterHint(err); ok {
 		// Propagate the backend's "come back later" hint (circuit probe
@@ -941,13 +885,10 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	resp := errorResponse{Error: err.Error(), TraceID: traceFrom(r.Context())}
-	if errors.Is(err, luna.ErrInvalidPlan) {
-		// errors.Join aggregates node-level validation failures; the
-		// structured array lets a plan editor show them all at once.
-		resp.Errors = luna.Issues(err)
-	}
-	s.writeJSON(w, status, resp)
+	s.writeJSON(w, status, api.ErrorEnvelope{
+		Error:   errorBody(status, err),
+		TraceID: traceFrom(r.Context()),
+	})
 }
 
 // newTraceID mints a per-request ID: a monotonic sequence (cheap ordering

@@ -182,8 +182,8 @@ func TestQueryValidation(t *testing.T) {
 	if resp := postJSON(t, ts.URL+"/query", QueryRequest{}, &errOut); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty question status = %d", resp.StatusCode)
 	}
-	if errOut.Error == "" || errOut.TraceID == "" {
-		t.Errorf("error body should carry error + trace_id: %+v", errOut)
+	if errOut.Error.Code != "bad_request" || errOut.Error.Message == "" || errOut.TraceID == "" {
+		t.Errorf("error envelope should carry code + message + trace_id: %+v", errOut)
 	}
 	resp, err := http.Get(ts.URL + "/query")
 	if err != nil {

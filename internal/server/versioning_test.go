@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"aryn/internal/server/api"
+)
+
+// TestVersionedRoutesAndDeprecation pins the /v1 migration contract:
+// canonical routes answer clean, legacy unprefixed aliases still work but
+// carry Deprecation + successor-version Link headers, and both spellings
+// feed one logical endpoint counter.
+func TestVersionedRoutesAndDeprecation(t *testing.T) {
+	ts := newTestServer(t, readySystem(t), Config{})
+
+	canonical, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical.Body.Close()
+	if canonical.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/healthz status = %d", canonical.StatusCode)
+	}
+	if canonical.Header.Get("Deprecation") != "" {
+		t.Error("/v1/healthz must not be marked deprecated")
+	}
+
+	legacy, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Body.Close()
+	if legacy.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d; the legacy alias must keep working", legacy.StatusCode)
+	}
+	if legacy.Header.Get("Deprecation") != "true" {
+		t.Errorf("legacy /healthz Deprecation = %q, want true", legacy.Header.Get("Deprecation"))
+	}
+	link := legacy.Header.Get("Link")
+	if !strings.Contains(link, "/v1/healthz") || !strings.Contains(link, "successor-version") {
+		t.Errorf("legacy /healthz Link = %q, want a successor-version pointer to /v1/healthz", link)
+	}
+
+	// Work endpoints answer identically on both spellings.
+	for _, path := range []string{"/v1/query", "/query"} {
+		var out QueryResponse
+		resp := postJSON(t, ts.URL+path, QueryRequest{Question: "How many incidents were there?"}, &out)
+		if resp.StatusCode != http.StatusOK || out.Answer != "16" {
+			t.Errorf("%s = %d answer %q, want 200 answer 16", path, resp.StatusCode, out.Answer)
+		}
+	}
+
+	// Both spellings share one counter keyed by the unversioned path.
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Endpoints["/healthz"].Requests < 2 {
+		t.Errorf("/healthz logical counter = %d requests, want ≥2 (both spellings)", st.Endpoints["/healthz"].Requests)
+	}
+	if st.Endpoints["/query"].Requests < 2 {
+		t.Errorf("/query logical counter = %d requests, want ≥2 (both spellings)", st.Endpoints["/query"].Requests)
+	}
+	for key := range st.Endpoints {
+		if strings.HasPrefix(key, "/v1/") {
+			t.Errorf("endpoint counters must be keyed unversioned, found %q", key)
+		}
+	}
+}
+
+// TestUnknownFieldsRejected: DisallowUnknownFields turns a typo'd knob
+// into a 400 that names it instead of silently ignoring it.
+func TestUnknownFieldsRejected(t *testing.T) {
+	ts := newTestServer(t, readySystem(t), Config{})
+	var out errorResponse
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]any{"question": "x", "includeplan": true}, &out)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status = %d, want 400", resp.StatusCode)
+	}
+	if out.Error.Code != api.CodeBadRequest || !strings.Contains(out.Error.Message, "includeplan") {
+		t.Errorf("400 envelope = %+v, want bad_request naming the unknown field", out)
+	}
+}

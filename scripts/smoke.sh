@@ -3,9 +3,13 @@
 # check plus ingest→query→chat and plan→edit→re-execute round-trips
 # (§6.2 inspect→edit→re-run over HTTP), and fail on any non-200 — plus a
 # regression that invalid plans come back as 400 with a structured
-# {"errors": [...]} array. CI runs this on every push (make smoke); it is
-# the end-to-end proof that the serving layer, admission gate, plan API,
-# and session plumbing hold together outside the Go test harness.
+# {"error": {"code", "message", "details"}} envelope, an SSE
+# streamed-query round-trip, the /v1
+# deprecation headers, and an async ingest job submitted and polled to
+# completion (docs/streaming-api.md). CI runs this on every push
+# (make smoke); it is the end-to-end proof that the serving layer,
+# admission gate, plan API, and session plumbing hold together outside
+# the Go test harness.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -102,10 +106,12 @@ BADSTATUS=$(curl -sS -o /tmp/smoke_bad_plan.$$ -w '%{http_code}' -X POST "$BASE/
 BAD=$(cat /tmp/smoke_bad_plan.$$; rm -f /tmp/smoke_bad_plan.$$)
 [ "$BADSTATUS" = "400" ] || {
   echo "smoke: invalid plan should be 400, got $BADSTATUS: $BAD" >&2; exit 1; }
-echo "$BAD" | grep -q '"errors"' || {
-  echo "smoke: 400 should carry a structured errors array: $BAD" >&2; exit 1; }
+echo "$BAD" | grep -q '"code": "invalid_plan"' || {
+  echo "smoke: 400 should carry the error envelope with code invalid_plan: $BAD" >&2; exit 1; }
+echo "$BAD" | grep -q '"details"' || {
+  echo "smoke: 400 envelope should carry a structured details array: $BAD" >&2; exit 1; }
 echo "$BAD" | grep -q 'hallucinated' && echo "$BAD" | grep -q 'llmFilter requires a question' || {
-  echo "smoke: errors array should list every node failure: $BAD" >&2; exit 1; }
+  echo "smoke: details array should list every node failure: $BAD" >&2; exit 1; }
 
 echo "smoke: chat session round-trip..."
 CHAT1=$(curl -fsS -X POST "$BASE/chat" -d '{"question":"How many incidents involved substantial damage?"}')
@@ -114,6 +120,53 @@ SESSION=$(echo "$CHAT1" | sed -n 's/.*"session_id": "\([^"]*\)".*/\1/p')
 CHAT2=$(curl -fsS -X POST "$BASE/chat" -d "{\"session_id\":\"$SESSION\",\"question\":\"what about destroyed aircraft?\"}")
 echo "$CHAT2" | grep -q '"turn": 2' || {
   echo "smoke: follow-up should be turn 2: $CHAT2" >&2; exit 1; }
+
+echo "smoke: legacy route answers with deprecation headers..."
+HEADERS=$(curl -fsS -D - -o /dev/null "$BASE/healthz")
+echo "$HEADERS" | grep -qi '^deprecation: true' || {
+  echo "smoke: legacy /healthz should carry Deprecation: true: $HEADERS" >&2; exit 1; }
+echo "$HEADERS" | grep -qi 'rel="successor-version"' || {
+  echo "smoke: legacy /healthz should Link its /v1 successor: $HEADERS" >&2; exit 1; }
+V1HEADERS=$(curl -fsS -D - -o /dev/null "$BASE/v1/healthz")
+echo "$V1HEADERS" | grep -qi '^deprecation' && {
+  echo "smoke: canonical /v1 route must not be deprecated: $V1HEADERS" >&2; exit 1; }
+
+echo "smoke: streamed query over SSE..."
+STREAM=$(curl -fsSN -X POST "$BASE/v1/query" -H 'Accept: text/event-stream' \
+  -d '{"question":"How many incidents were there?"}')
+# here-strings, not pipes: grep -q quitting early would SIGPIPE echo
+# under pipefail even on a match.
+grep -q '^event: progress' <<<"$STREAM" || {
+  echo "smoke: stream should carry a progress event: $STREAM" >&2; exit 1; }
+grep -q '^event: result' <<<"$STREAM" || {
+  echo "smoke: stream should end in a result event: $STREAM" >&2; exit 1; }
+grep -q '"answer":"16"' <<<"$(tail -4 <<<"$STREAM")" || {
+  echo "smoke: streamed terminal result should answer 16: $STREAM" >&2; exit 1; }
+
+echo "smoke: async ingest job submitted, polled to done..."
+JOBSTATUS=$(curl -sS -o /tmp/smoke_job.$$ -w '%{http_code}' -X POST "$BASE/v1/ingest" -d '{"docs":8,"seed":99}')
+JOB=$(cat /tmp/smoke_job.$$; rm -f /tmp/smoke_job.$$)
+[ "$JOBSTATUS" = "202" ] || {
+  echo "smoke: POST /v1/ingest should answer 202, got $JOBSTATUS: $JOB" >&2; exit 1; }
+LOCATION=$(echo "$JOB" | sed -n 's/.*"location": "\([^"]*\)".*/\1/p')
+[ -n "$LOCATION" ] || { echo "smoke: 202 returned no job location: $JOB" >&2; exit 1; }
+JOBSTATE=""
+for i in $(seq 1 300); do
+  SNAP=$(curl -fsS "$BASE$LOCATION")
+  JOBSTATE=$(echo "$SNAP" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+  [ "$JOBSTATE" = "done" ] && break
+  [ "$JOBSTATE" = "failed" ] && { echo "smoke: ingest job failed: $SNAP" >&2; exit 1; }
+  sleep 0.1
+done
+[ "$JOBSTATE" = "done" ] || { echo "smoke: ingest job still $JOBSTATE after 30s" >&2; exit 1; }
+# result.documents is the store total after the prepare swap; synthetic
+# corpora share positional accident numbers, so the job's 8 docs
+# overwrite 8 of the 16 already ingested and the total stays 16.
+grep -q '"documents": 16' <<<"$SNAP" || {
+  echo "smoke: done job should report the 16-doc store total: $SNAP" >&2; exit 1; }
+QUERY2=$(curl -fsS -X POST "$BASE/v1/query" -d '{"question":"How many incidents were there?"}')
+echo "$QUERY2" | grep -q '"answer": "16"' || {
+  echo "smoke: post-job corpus should still count 16: $QUERY2" >&2; exit 1; }
 
 echo "smoke: stats snapshot..."
 STATS=$(curl -fsS "$BASE/stats")
