@@ -1,0 +1,22 @@
+// Command arynvet is the repository's custom static-analysis suite,
+// run as a vet tool:
+//
+//	go vet -vettool=$(make -s arynvet-bin) ./...
+//
+// It machine-enforces the invariants the compiler cannot see and tests
+// only probabilistically catch: byte-reproducible plan execution
+// (determinism), compute-only critical sections (lockheld), cancelable
+// request paths (ctxflow), the frozen /v1 wire contract (wirestable),
+// and single-point SSE emission (sseorder). docs/static-analysis.md
+// documents each invariant and the //lint:allow suppression policy;
+// `make vet-custom` is the entry point and part of `make ci`.
+package main
+
+import (
+	"aryn/internal/analysis/registry"
+	"aryn/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(registry.All()...)
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker: a name (which doubles as
+// the -flag that disables it and the suppression key in //lint:allow
+// markers), one-paragraph documentation, and the Run function applied to
+// each package.
+type Analyzer struct {
+	// Name is a short lowercase identifier, unique within the suite.
+	Name string
+	// Doc states the enforced invariant; the first line is the summary
+	// shown by flag help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	// The result value is unused by the unit driver and exists only for
+	// interface parity with x/tools analyzers.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// SrcFiles returns the pass's non-test files: analyzers enforce
+// production invariants, and test code legitimately uses
+// context.Background, detached goroutines, and unordered iteration.
+func (p *Pass) SrcFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// PathHasSuffix reports whether the package path ends in one of the given
+// path suffixes (segment-aligned, so "internal/luna" does not match
+// "internal/lunatic"). Analyzers use it to scope themselves to the
+// packages whose invariant they enforce while staying testable against
+// fixture trees rooted elsewhere.
+func PathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the statically-called function or method of a call
+// expression, or nil for calls through function values, conversions, and
+// builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// FuncID names a function for matching: package-level functions yield
+// ("pkg/path", "", "Name"); methods (including interface methods) yield
+// ("pkg/path", "Type", "Name") with pointer receivers dereferenced.
+func FuncID(fn *types.Func) (pkgPath, typeName, name string) {
+	if fn == nil {
+		return "", "", ""
+	}
+	name = fn.Name()
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return pkgPath, "", name
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		typeName = named.Obj().Name()
+		if named.Obj().Pkg() != nil {
+			pkgPath = named.Obj().Pkg().Path()
+		}
+	}
+	return pkgPath, typeName, name
+}
+
+// IsNamedType reports whether t (after pointer dereference) is the named
+// type typeName defined in a package whose path ends in pkgSuffix.
+func IsNamedType(t types.Type, pkgSuffix, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return PathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// allowMarker is the suppression comment prefix: //lint:allow <analyzer>
+// <reason>. See docs/static-analysis.md for policy.
+const allowMarker = "lint:allow"
+
+// Suppress filters out diagnostics covered by a //lint:allow marker for
+// the named analyzer on the diagnostic's line or the line above it. Both
+// the unit driver and the analyzertest harness apply it, so fixtures can
+// pin suppression behavior.
+func Suppress(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	// allowed maps file -> line -> marker present for this analyzer.
+	// codeLines marks lines on which a non-comment node starts: a marker
+	// trailing code on its line suppresses that line only, while a
+	// standalone marker suppresses the line below it.
+	allowed := make(map[string]map[int]bool)
+	codeLines := make(map[string]map[int]bool)
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		cl := codeLines[fname]
+		if cl == nil {
+			cl = make(map[int]bool)
+			codeLines[fname] = cl
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return true
+			}
+			cl[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowMarker))
+				if len(fields) == 0 || fields[0] != analyzer {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowed[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					allowed[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if m := allowed[pos.Filename]; m != nil {
+			if m[pos.Line] {
+				continue
+			}
+			if m[pos.Line-1] && !codeLines[pos.Filename][pos.Line-1] {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// FileBase returns the base name of the file containing pos.
+func FileBase(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}

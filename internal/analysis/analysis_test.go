@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"aryn/internal/analysis"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path     string
+		suffixes []string
+		want     bool
+	}{
+		{"aryn/internal/docset", []string{"internal/docset"}, true},
+		{"internal/docset", []string{"internal/docset"}, true},
+		{"aryn/internal/docset", []string{"internal/luna", "internal/docset"}, true},
+		{"aryn/internal/docsetx", []string{"internal/docset"}, false}, // segment-aligned, not a string suffix
+		{"aryn/myinternal/docset", []string{"internal/docset"}, false},
+		{"aryn/internal/docset/sub", []string{"internal/docset"}, false},
+		{"aryn/internal/docset", nil, false},
+	}
+	for _, c := range cases {
+		if got := analysis.PathHasSuffix(c.path, c.suffixes...); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %v) = %v, want %v", c.path, c.suffixes, got, c.want)
+		}
+	}
+}
+
+// TestSuppress pins the //lint:allow contract: the marker silences one
+// named analyzer, on the flagged line or the line directly above it.
+func TestSuppress(t *testing.T) {
+	src := `package p
+
+func f() {
+	a() //lint:allow det sanctioned on the same line
+	b()
+	//lint:allow det sanctioned from the line above
+	c()
+	d() //lint:allow other a different analyzer's marker
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := map[string]analysis.Diagnostic{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			name := call.Fun.(*ast.Ident).Name
+			diags[name] = analysis.Diagnostic{Pos: call.Pos(), Message: name + " flagged"}
+		}
+		return true
+	})
+	all := []analysis.Diagnostic{diags["a"], diags["b"], diags["c"], diags["d"]}
+
+	kept := analysis.Suppress(fset, []*ast.File{f}, "det", all)
+	want := map[string]bool{"b flagged": true, "d flagged": true}
+	if len(kept) != len(want) {
+		t.Fatalf("Suppress kept %d diagnostics, want %d: %+v", len(kept), len(want), kept)
+	}
+	for _, d := range kept {
+		if !want[d.Message] {
+			t.Errorf("Suppress kept %q; expected only b and d to survive", d.Message)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package analyzertest is the golden-test harness for arynvet analyzers,
+// in the style of golang.org/x/tools/go/analysis/analysistest: each
+// analyzer package carries a testdata/src/<importpath>/ fixture tree;
+// fixture lines that should be flagged carry a trailing
+// `// want "regexp"` comment; the harness loads the fixture package,
+// runs the analyzer, and fails on any unmatched diagnostic or unmet
+// expectation.
+//
+// Fixtures are loaded GOPATH-style, so an analyzer scoped to (say)
+// aryn/internal/docset is exercised against a fixture package with
+// exactly that import path. Imports resolve with this precedence:
+//
+//  1. the analyzer's own testdata/src tree (fixture dependencies),
+//  2. the shared stub tree under analyzertest/testdata/stdstub/src —
+//     minimal
+//     source stand-ins for the handful of stdlib packages fixtures use
+//     (sync, time, context, ...), keeping tests hermetic and fast,
+//  3. the real standard library, type-checked from $GOROOT source.
+//
+// The //lint:allow suppression filter runs exactly as in the unit
+// driver, so fixtures pin suppression semantics too.
+//
+// Concurrency contract: a Loader is single-goroutine; each test creates
+// its own.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aryn/internal/analysis"
+)
+
+// Run loads each fixture package (an import path under
+// testdata/src/) with the analyzer under test and checks its
+// diagnostics against the fixtures' `// want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			ld := newLoader(testdata)
+			fset, files, pkg, info, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg,
+				TypesInfo: info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s: %v", a.Name, err)
+			}
+			diags = analysis.Suppress(fset, files, a.Name, diags)
+
+			checkExpectations(t, fset, files, diags)
+		})
+	}
+}
+
+// expectation is one `// want "re"` clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted parses the space-separated quoted regexps of a want
+// clause: `"re1" "re2"`.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: want clause must be a sequence of quoted regexps, got %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want regexp in %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// loader type-checks fixture packages with the documented import
+// precedence.
+type loader struct {
+	fset     *token.FileSet
+	testdata string
+	stubs    string
+	std      types.Importer
+	pkgs     map[string]*types.Package
+	// info accumulates type facts for every fixture package loaded, so
+	// the pass sees uses inside fixture dependencies too.
+	info *types.Info
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		testdata: testdata,
+		stubs:    filepath.Join(selfDir(), "testdata", "stdstub", "src"),
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*types.Package),
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+}
+
+// load type-checks the fixture package at importPath and returns its
+// syntax and types.
+func (ld *loader) load(importPath string) (*token.FileSet, []*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(importPath))
+	files, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	tc := &types.Config{Importer: ld, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := tc.Check(importPath, ld.fset, files, ld.info)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return ld.fset, files, pkg, ld.info, nil
+}
+
+// Import implements types.Importer with the fixture → stub → GOROOT
+// precedence.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	for _, root := range []string{filepath.Join(ld.testdata, "src"), ld.stubs} {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			files, err := ld.parseDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			tc := &types.Config{Importer: ld, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+			pkg, err := tc.Check(path, ld.fset, files, ld.info)
+			if err != nil {
+				return nil, fmt.Errorf("typechecking %s (from %s): %v", path, dir, err)
+			}
+			ld.pkgs[path] = pkg
+			return pkg, nil
+		}
+	}
+	pkg, err := ld.std.Import(path)
+	if err == nil {
+		ld.pkgs[path] = pkg
+	}
+	return pkg, err
+}
+
+func (ld *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// selfDir locates this package's source directory so the shared stub
+// tree resolves regardless of the test's working directory.
+func selfDir() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "."
+	}
+	return filepath.Dir(file)
+}

@@ -1,0 +1,10 @@
+// Package bytes is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package bytes
+
+type Buffer struct{ buf []byte }
+
+func (b *Buffer) Write(p []byte) (int, error)       { return 0, nil }
+func (b *Buffer) WriteString(s string) (int, error) { return 0, nil }
+func (b *Buffer) String() string                    { return "" }
+func (b *Buffer) Bytes() []byte                     { return nil }

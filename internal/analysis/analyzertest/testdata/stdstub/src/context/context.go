@@ -1,0 +1,20 @@
+// Package context is a type-only stub of the standard library package
+// for analyzer fixtures (see package analyzertest).
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type CancelFunc func()
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+func (emptyCtx) Err() error            { return nil }
+
+func Background() Context { return emptyCtx{} }
+func TODO() Context       { return emptyCtx{} }
+
+func WithCancel(parent Context) (Context, CancelFunc) { return parent, func() {} }

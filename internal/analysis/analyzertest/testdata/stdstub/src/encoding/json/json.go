@@ -1,0 +1,18 @@
+// Package json is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package json
+
+import "io"
+
+type RawMessage []byte
+
+func Marshal(v any) ([]byte, error)      { return nil, nil }
+func Unmarshal(data []byte, v any) error { return nil }
+
+type Decoder struct{ r io.Reader }
+
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+func (d *Decoder) Decode(v any) error     { return nil }
+func (d *Decoder) DisallowUnknownFields() {}
+func (d *Decoder) UseNumber()             {}

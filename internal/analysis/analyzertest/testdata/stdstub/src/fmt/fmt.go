@@ -1,0 +1,15 @@
+// Package fmt is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package fmt
+
+import "io"
+
+func Sprintf(format string, a ...any) string { return "" }
+func Sprint(a ...any) string                 { return "" }
+func Errorf(format string, a ...any) error   { return nil }
+
+func Fprintf(w io.Writer, format string, a ...any) (int, error) { return 0, nil }
+func Fprint(w io.Writer, a ...any) (int, error)                 { return 0, nil }
+func Fprintln(w io.Writer, a ...any) (int, error)               { return 0, nil }
+func Printf(format string, a ...any) (int, error)               { return 0, nil }
+func Println(a ...any) (int, error)                             { return 0, nil }

@@ -1,0 +1,11 @@
+// Package io is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package io
+
+type Reader interface {
+	Read(p []byte) (n int, err error)
+}
+
+type Writer interface {
+	Write(p []byte) (n int, err error)
+}

@@ -1,0 +1,29 @@
+// Package rand is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package rand
+
+type Source interface{ Int63() int64 }
+
+type stubSource struct{}
+
+func (stubSource) Int63() int64 { return 0 }
+
+func NewSource(seed int64) Source { return stubSource{} }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand { return &Rand{src: src} }
+
+func (r *Rand) Int() int                           { return 0 }
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Float64() float64                   { return 0 }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+func (r *Rand) Perm(n int) []int                   { return nil }
+
+func Int() int                           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Int63() int64                       { return 0 }
+func Float64() float64                   { return 0 }
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}
+func Seed(seed int64)                    {}

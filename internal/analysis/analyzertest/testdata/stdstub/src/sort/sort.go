@@ -1,0 +1,8 @@
+// Package sort is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package sort
+
+func Strings(x []string)                          {}
+func Ints(x []int)                                {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}

@@ -1,0 +1,12 @@
+// Package strings is a type-only stub of the standard library package
+// for analyzer fixtures (see package analyzertest).
+package strings
+
+type Builder struct{ buf []byte }
+
+func (b *Builder) WriteString(s string) (int, error) { return 0, nil }
+func (b *Builder) WriteByte(c byte) error            { return nil }
+func (b *Builder) Write(p []byte) (int, error)       { return 0, nil }
+func (b *Builder) String() string                    { return "" }
+
+func Join(elems []string, sep string) string { return "" }

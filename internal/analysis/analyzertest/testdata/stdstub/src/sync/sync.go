@@ -1,0 +1,34 @@
+// Package sync is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return true }
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{ state int32 }
+
+func (w *WaitGroup) Add(delta int) {}
+func (w *WaitGroup) Done()         {}
+func (w *WaitGroup) Wait()         {}
+
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+type Cond struct{ L Locker }
+
+func NewCond(l Locker) *Cond { return &Cond{L: l} }
+func (c *Cond) Wait()        {}
+func (c *Cond) Signal()      {}
+func (c *Cond) Broadcast()   {}

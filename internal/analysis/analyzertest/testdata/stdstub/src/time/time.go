@@ -1,0 +1,23 @@
+// Package time is a type-only stub of the standard library package for
+// analyzer fixtures (see package analyzertest).
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Millisecond          = 1000000 * Nanosecond
+	Second               = 1000 * Millisecond
+)
+
+type Time struct{ wall uint64 }
+
+func (t Time) Sub(u Time) Duration { return 0 }
+func (t Time) UnixNano() int64     { return 0 }
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Sleep(d Duration)      {}
+func After(d Duration) <-chan Time {
+	return nil
+}

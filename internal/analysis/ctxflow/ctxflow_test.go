@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"aryn/internal/analysis/analyzertest"
+	"aryn/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.Analyzer, "aryn/internal/server")
+}

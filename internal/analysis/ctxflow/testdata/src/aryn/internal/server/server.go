@@ -1,0 +1,52 @@
+// Fixture for the ctxflow analyzer: fresh root contexts and
+// unsupervised goroutines on a request path (the import path ends in
+// internal/server, which is in scope).
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+func roots(ctx context.Context) {
+	_ = context.Background() // want "context\\.Background on a request path detaches work from cancellation"
+	_ = context.TODO()       // want "context\\.TODO on a request path detaches work from cancellation"
+
+	child, cancel := context.WithCancel(ctx) // deriving from the request: clean
+	defer cancel()
+	_ = child
+}
+
+// Deliberately detached work carries the suppression marker with its
+// justification.
+func detached() {
+	ctx := context.Background() //lint:allow ctxflow fixture: deliberately detached background job
+	_ = ctx
+}
+
+func goroutines(ctx context.Context, done chan struct{}) {
+	go func() { // want "goroutine has no context, channel, or WaitGroup"
+		work()
+	}()
+
+	go func(ctx context.Context) { // supervised: context passed as argument
+		work()
+	}(ctx)
+
+	go func() { // supervised: joined through the channel it closes over
+		work()
+		<-done
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // supervised: WaitGroup membership
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+
+	go work() // named-function launch: body lives elsewhere, not analyzed
+}
+
+func work() {}

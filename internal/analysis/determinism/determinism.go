@@ -1,0 +1,243 @@
+// Package determinism enforces the byte-reproducibility invariant of
+// plan execution: the same plan over the same corpus must produce the
+// same bytes regardless of worker budget or scheduling (the property the
+// scheduler's determinism tests pin). It flags, inside internal/docset
+// and internal/luna only:
+//
+//   - time.Now — wall-clock reads feed nondeterministic values into
+//     results (trace-only timing is the sanctioned exception, annotated
+//     with //lint:allow determinism);
+//   - package-level math/rand (and math/rand/v2) calls — the global
+//     generator is unseeded; randomness must flow through an explicitly
+//     seeded *rand.Rand (rand.New(rand.NewSource(seed)));
+//   - map iteration that feeds ordered output (appends into a slice
+//     that is not subsequently sorted, channel sends, stream/string
+//     writes, string concatenation) — Go's map order is deliberately
+//     random, so such loops change output bytes run to run.
+//
+// Concurrency contract: stateless; see package analysis.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"aryn/internal/analysis"
+)
+
+// Analyzer flags nondeterminism sources in plan-execution packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag wall-clock reads, unseeded randomness, and map-ordered output in byte-reproducible plan-execution paths\n\n" +
+		"Plan execution (internal/docset, internal/luna) promises byte-identical results across runs and worker budgets; " +
+		"time.Now, the global math/rand generator, and map iteration order all break that promise silently.",
+	Run: run,
+}
+
+// scope is the set of packages whose output must be byte-reproducible.
+var scope = []string{"internal/docset", "internal/luna"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathHasSuffix(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				checkUse(pass, id)
+			}
+			return true
+		})
+		inspectStmtLists(f, func(list []ast.Stmt) {
+			for i, s := range list {
+				if rng, ok := s.(*ast.RangeStmt); ok {
+					checkMapRange(pass, rng, list[i+1:])
+				}
+			}
+		})
+	}
+	return nil, nil
+}
+
+// checkUse flags any reference to time.Now or a package-level math/rand
+// function — calls and function values alike, so `f := time.Now` cannot
+// smuggle the wall clock past the check.
+func checkUse(pass *analysis.Pass, id *ast.Ident) {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "time":
+		if name == "Now" {
+			pass.Reportf(id.Pos(), "time.Now in a byte-reproducible execution path: inject a clock, or this is trace-only timing")
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(id.Pos(), "package-level %s.%s uses an unseeded global generator: use rand.New(rand.NewSource(seed))", pkg, name)
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map whose body emits
+// into ordered output. The canonical collect-keys-then-sort idiom is
+// recognized: appends whose target is passed to a sort call later in the
+// same block are clean.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	sorted := sortedObjects(pass, rest)
+	var emissions []string
+	var pos token.Pos
+	note := func(kind string, at token.Pos) {
+		if len(emissions) == 0 {
+			pos = at
+		}
+		emissions = append(emissions, kind)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			note("channel send", n.Pos())
+		case *ast.AssignStmt:
+			// keys = append(keys, k): ordered unless keys is sorted below.
+			if target, call := appendTarget(pass, n); target != nil {
+				if !sorted[target] {
+					note("append", call.Pos())
+				}
+				return true
+			}
+			// s += v string building is order-dependent.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if lt := pass.TypesInfo.TypeOf(n.Lhs[0]); lt != nil {
+					if b, ok := lt.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						note("string concatenation", n.Pos())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputWrite(pass, n) {
+				note("write", n.Pos())
+			}
+		}
+		return true
+	})
+
+	if len(emissions) > 0 {
+		pass.Reportf(pos, "map iteration order reaches ordered output (%s): iterate sorted keys instead", strings.Join(dedup(emissions), ", "))
+	}
+}
+
+// appendTarget returns the assigned-to object of `x = append(x, ...)`
+// (nil when the statement is not an append assignment).
+func appendTarget(pass *analysis.Pass, n *ast.AssignStmt) (types.Object, *ast.CallExpr) {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, nil
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return nil, nil
+	}
+	return refObject(pass, n.Lhs[0]), call
+}
+
+// refObject resolves an ident or field selector to its object (the
+// variable, or the struct field for a.examples-style targets).
+func refObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedObjects collects the objects passed to a sort/slices sort call
+// in the statements following the range loop.
+func sortedObjects(pass *analysis.Pass, rest []ast.Stmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, recv, name := analysis.FuncID(analysis.Callee(pass.TypesInfo, call))
+			isSort := recv == "" && (pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort")))
+			if !isSort {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := refObject(pass, arg); obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isOutputWrite reports calls that serialize into an output stream or
+// buffer: fmt printing and Write*/String-building methods.
+func isOutputWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	pkg, recv, name := analysis.FuncID(analysis.Callee(pass.TypesInfo, call))
+	if pkg == "fmt" && recv == "" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Sprint")) {
+		return true
+	}
+	return recv != "" && (name == "Write" || strings.HasPrefix(name, "Write"))
+}
+
+// inspectStmtLists visits every statement list (blocks, case and comm
+// clause bodies) under n.
+func inspectStmtLists(n ast.Node, visit func([]ast.Stmt)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

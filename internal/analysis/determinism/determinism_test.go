@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"aryn/internal/analysis/analyzertest"
+	"aryn/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analyzertest.Run(t, "testdata", determinism.Analyzer,
+		"aryn/internal/docset", // in scope: every finding class
+		"aryn/internal/other",  // out of scope: same sins, no findings
+	)
+}

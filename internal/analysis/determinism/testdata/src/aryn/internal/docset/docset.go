@@ -1,0 +1,73 @@
+// Fixture for the determinism analyzer: wall-clock reads, unseeded
+// randomness, and map-ordered output inside a byte-reproducible
+// execution package (the import path ends in internal/docset).
+package docset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// The sanctioned seam pattern: exactly one suppressed wall-clock read,
+// everything else routes through it.
+var wallclock = time.Now //lint:allow determinism trace-only timing seam
+
+func clocks() {
+	t := time.Now() // want "time\\.Now in a byte-reproducible execution path"
+	_ = t
+	f := time.Now // want "time\\.Now in a byte-reproducible execution path"
+	_ = f
+	_ = wallclock() // routed through the seam: clean
+	_ = time.Since(wallclock())
+}
+
+func randomness(seed int64) {
+	_ = rand.Intn(10)                   // want "package-level math/rand\\.Intn uses an unseeded global generator"
+	r := rand.New(rand.NewSource(seed)) // seeded generator: clean
+	_ = r.Intn(10)
+	g := rand.Float64 // want "package-level math/rand\\.Float64 uses an unseeded global generator"
+	_ = g
+}
+
+func mapOrder(m map[string]int, out chan<- string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "map iteration order reaches ordered output \\(append\\)"
+	}
+	_ = keys
+
+	var names []string
+	for k := range m { // collect-then-sort idiom: clean
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	for k := range m {
+		out <- k // want "map iteration order reaches ordered output \\(channel send\\)"
+	}
+
+	s := ""
+	for k := range m {
+		s += k // want "map iteration order reaches ordered output \\(string concatenation\\)"
+	}
+	_ = s
+
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "map iteration order reaches ordered output \\(write\\)"
+	}
+
+	for _, v := range []int{1, 2} { // slice range: order is defined, clean
+		out <- fmt.Sprint(v)
+	}
+}
+
+type collector struct{ examples []string }
+
+// Selector-target appends are emissions too (the InferSchema shape).
+func (c *collector) fields(m map[string]string) {
+	for _, v := range m {
+		c.examples = append(c.examples, v) // want "map iteration order reaches ordered output \\(append\\)"
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture pinning the analyzer's scope: this package is outside
+// internal/docset and internal/luna, so nothing here is flagged even
+// though every determinism sin appears.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unscoped(m map[string]int) []string {
+	_ = time.Now()
+	_ = rand.Intn(10)
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,34 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic vocabulary
+// that custom vet checkers are written against. The arynvet suite
+// (cmd/arynvet) is built on it because the repository's invariants —
+// byte-reproducible plan execution, the scheduler's yield-during-model-
+// call lock discipline, cancelable request paths, the frozen /v1 wire
+// contract, id-monotonic SSE emission — are exactly the properties the
+// compiler cannot check and reviewer memory eventually drops.
+//
+// The subpackages divide as:
+//
+//   - unit: the `go vet -vettool` driver protocol (-V=full, -flags, and
+//     per-package *.cfg analysis units), so the suite runs under the
+//     standard build cache with export data supplied by the go command;
+//   - analyzertest: an analysistest-style golden harness that loads
+//     GOPATH-shaped fixture trees and matches `// want "regexp"`
+//     expectations;
+//   - registry: the list of analyzers cmd/arynvet registers (kept out of
+//     package main so tests can enumerate it);
+//   - determinism, lockheld, ctxflow, wirestable, sseorder: the
+//     analyzers themselves, one invariant each (docs/static-analysis.md
+//     documents what each enforces and why).
+//
+// Suppression: a finding that reflects an intentional, justified
+// exception is silenced by a `//lint:allow <analyzer> <reason>` comment
+// on the flagged line or the line above it. The reason is mandatory by
+// convention (docs/static-analysis.md); the marker is scoped to a single
+// analyzer and a single line, so blanket opt-outs are impossible.
+//
+// Concurrency contract: Analyzers are stateless values; a Pass is used
+// by one goroutine at a time. The unit driver runs analyzers
+// sequentially within a compilation unit (the go command already
+// parallelizes across packages).
+package analysis

@@ -1,0 +1,324 @@
+// Package lockheld enforces the scheduler's lock discipline: no blocking
+// operation while a sync.Mutex or sync.RWMutex is held. The worker-
+// budget contract (docset.Context: workers yield their slot during model
+// round-trips) and the SSE/jobs layer both depend on critical sections
+// staying compute-only — a channel send, select, sleep, WaitGroup wait,
+// or llm.Client round-trip under a lock turns a microsecond critical
+// section into one bounded by the network, and is one cycle away from
+// deadlock.
+//
+// The analysis is intra-procedural and per-branch: it tracks Lock/RLock
+// acquisitions linearly through each function body, treats `defer
+// mu.Unlock()` as held-until-return, and analyzes nested function
+// literals as independent bodies (their execution time is not the
+// enclosing critical section).
+//
+// Concurrency contract: stateless; see package analysis.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"aryn/internal/analysis"
+)
+
+// Analyzer flags blocking calls made while a mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flag channel operations, sleeps, waits, and llm.Client round-trips made while a sync.Mutex/RWMutex is held\n\n" +
+		"Critical sections must be compute-only: the scheduler's worker-budget contract yields slots during model " +
+		"round-trips, which is impossible if the round-trip happens under a lock.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.SrcFiles() {
+		// Each function body — declaration or literal — is analyzed as an
+		// independent critical-section window (walkStmt/checkExpr never
+		// descend into nested literals, so nothing is analyzed twice).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walkStmts(pass, n.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				walkStmts(pass, n.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// lockOp classifies a call as a mutex acquisition (+1), release (-1), or
+// neither (0), returning the receiver expression's render as the key.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (key string, op int) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	pkg, recv, name := analysis.FuncID(fn)
+	if pkg != "sync" || (recv != "Mutex" && recv != "RWMutex") {
+		return "", 0
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	key = types.ExprString(sel.X)
+	switch name {
+	case "Lock", "RLock":
+		return key, 1
+	case "Unlock", "RUnlock":
+		return key, -1
+	}
+	return "", 0
+}
+
+// walkStmts interprets one statement list, tracking which mutexes are
+// held. Statements in the same block mutate the state linearly; branch
+// constructs analyze each arm on a copy and join the arms' end states
+// (a mutex is held after the construct if any reachable arm leaves it
+// held — so a switch whose every case unlocks before blocking work
+// leaves the fall-through path clean).
+func walkStmts(pass *analysis.Pass, list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		walkStmt(pass, s, held)
+	}
+}
+
+// walkBranch analyzes one arm on a copy of the state and returns its end
+// state, or nil when the arm cannot fall through (it returns).
+func walkBranch(pass *analysis.Pass, list []ast.Stmt, held map[string]bool) map[string]bool {
+	h := clone(held)
+	walkStmts(pass, list, h)
+	if len(list) > 0 {
+		if _, ok := list[len(list)-1].(*ast.ReturnStmt); ok {
+			return nil
+		}
+	}
+	return h
+}
+
+// setUnion replaces held with the union of the given end states,
+// ignoring unreachable (nil) arms.
+func setUnion(held map[string]bool, states []map[string]bool) {
+	union := make(map[string]bool)
+	for _, s := range states {
+		for k := range s {
+			union[k] = true
+		}
+	}
+	for k := range held {
+		delete(held, k)
+	}
+	for k := range union {
+		held[k] = true
+	}
+}
+
+func walkStmt(pass *analysis.Pass, s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, op := lockOp(pass, call); op != 0 {
+				if op > 0 {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		checkExpr(pass, s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the remainder of
+		// the body; the deferred call itself runs outside our window.
+		for _, arg := range s.Call.Args {
+			checkExpr(pass, arg, held)
+		}
+	case *ast.GoStmt:
+		// Only the arguments evaluate on this goroutine.
+		for _, arg := range s.Call.Args {
+			checkExpr(pass, arg, held)
+		}
+	case *ast.SendStmt:
+		if key := anyHeld(held); key != "" {
+			pass.Reportf(s.Pos(), "channel send while %s is held", key)
+		}
+		checkExpr(pass, s.Chan, held)
+		checkExpr(pass, s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkExpr(pass, e, held)
+		}
+		for _, e := range s.Lhs {
+			checkExpr(pass, e, held)
+		}
+	case *ast.DeclStmt:
+		checkExpr(pass, s, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			checkExpr(pass, e, held)
+		}
+	case *ast.IncDecStmt:
+		checkExpr(pass, s.X, held)
+	case *ast.LabeledStmt:
+		walkStmt(pass, s.Stmt, held)
+	case *ast.BlockStmt:
+		walkStmts(pass, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		checkExpr(pass, s.Cond, held)
+		states := []map[string]bool{walkBranch(pass, s.Body.List, held)}
+		switch e := s.Else.(type) {
+		case nil:
+			states = append(states, clone(held)) // condition false, skipped
+		case *ast.BlockStmt:
+			states = append(states, walkBranch(pass, e.List, held))
+		default: // else-if chain
+			h := clone(held)
+			walkStmt(pass, e, h)
+			states = append(states, h)
+		}
+		setUnion(held, states)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkExpr(pass, s.Cond, held)
+		}
+		states := []map[string]bool{walkBranch(pass, s.Body.List, held), clone(held)}
+		setUnion(held, states)
+	case *ast.RangeStmt:
+		checkExpr(pass, s.X, held)
+		states := []map[string]bool{walkBranch(pass, s.Body.List, held), clone(held)}
+		setUnion(held, states)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkExpr(pass, s.Tag, held)
+		}
+		walkClauses(pass, s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		walkClauses(pass, s.Body.List, held)
+	case *ast.SelectStmt:
+		if key := anyHeld(held); key != "" && !hasDefault(s) {
+			pass.Reportf(s.Pos(), "blocking select while %s is held", key)
+		}
+		var states []map[string]bool
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				states = append(states, walkBranch(pass, cc.Body, held))
+			}
+		}
+		if len(states) > 0 {
+			setUnion(held, states)
+		}
+	}
+}
+
+// checkExpr flags blocking operations inside an expression evaluated
+// while locks are held. Nested function literals are skipped: defining
+// one blocks nothing.
+func checkExpr(pass *analysis.Pass, n ast.Node, held map[string]bool) {
+	key := anyHeld(held)
+	if key == "" {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held", key)
+			}
+		case *ast.CallExpr:
+			if kind := blockingCall(pass, n); kind != "" {
+				pass.Reportf(n.Pos(), "%s while %s is held", kind, key)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that park the goroutine: sleeps, waits,
+// and model round-trips (any Complete/CompleteBatch on a type declared
+// in internal/llm — the scheduler yields its worker slot for these,
+// which is impossible under a lock).
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	pkg, recv, name := analysis.FuncID(analysis.Callee(pass.TypesInfo, call))
+	switch {
+	case pkg == "time" && recv == "" && name == "Sleep":
+		return "time.Sleep"
+	case pkg == "sync" && recv == "WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait"
+	case pkg == "sync" && recv == "Cond" && name == "Wait":
+		return "sync.Cond.Wait"
+	case analysis.PathHasSuffix(pkg, "internal/llm") && recv != "" && (name == "Complete" || name == "CompleteBatch"):
+		return "llm.Client round-trip (" + recv + "." + name + ")"
+	}
+	return ""
+}
+
+// walkClauses analyzes a switch/type-switch body: each case arm on a
+// copy, then joins the reachable end states. Without a default clause
+// the construct may match nothing, so the incoming state is also a
+// reachable outcome.
+func walkClauses(pass *analysis.Pass, clauses []ast.Stmt, held map[string]bool) {
+	var states []map[string]bool
+	hasDefaultCase := false
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefaultCase = true
+		}
+		for _, e := range cc.List {
+			checkExpr(pass, e, held)
+		}
+		states = append(states, walkBranch(pass, cc.Body, held))
+	}
+	if !hasDefaultCase {
+		states = append(states, clone(held))
+	}
+	setUnion(held, states)
+}
+
+func anyHeld(held map[string]bool) string {
+	if len(held) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"aryn/internal/analysis/analyzertest"
+	"aryn/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockheld.Analyzer, "aryn/internal/example")
+}

@@ -1,0 +1,153 @@
+// Fixture for the lockheld analyzer: blocking operations inside and
+// outside critical sections, including the branch-join cases the
+// analyzer must get right to avoid false positives.
+package example
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"aryn/internal/llm"
+)
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	c  *llm.Client
+	ch chan int
+}
+
+func (s *state) sendWhileHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s\\.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) sendAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 // lock released: clean
+}
+
+func (s *state) deferKeepsHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want "channel send while s\\.mu is held"
+}
+
+func (s *state) recvWhileHeld() {
+	s.rw.RLock()
+	v := <-s.ch // want "channel receive while s\\.rw is held"
+	_ = v
+	s.rw.RUnlock()
+}
+
+func (s *state) sleepWhileHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want "time\\.Sleep while s\\.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) waitWhileHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "sync\\.WaitGroup\\.Wait while s\\.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) roundTripWhileHeld(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.c.Complete(ctx, llm.Request{Prompt: "q"}) // want "llm\\.Client round-trip \\(Client\\.Complete\\) while s\\.mu is held"
+}
+
+func (s *state) roundTripAfterUnlock(ctx context.Context) {
+	s.mu.Lock()
+	req := llm.Request{Prompt: "q"}
+	s.mu.Unlock()
+	_, _ = s.c.Complete(ctx, req) // lock released: clean
+}
+
+func (s *state) selectWhileHeld() {
+	s.mu.Lock()
+	select { // want "blocking select while s\\.mu is held"
+	case <-s.ch:
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) selectWithDefault() {
+	s.mu.Lock()
+	select { // non-blocking poll: clean
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// Every switch arm releases the lock before the blocking select — the
+// branch join must leave the fall-through path clean (regression shape:
+// the llm batcher's dispatch wake-up).
+func (s *state) switchAllArmsUnlock(n int) {
+	s.mu.Lock()
+	switch n {
+	case 0:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+	select { // no reachable path holds the lock: clean
+	case <-s.ch:
+	}
+}
+
+func (s *state) ifOnlyOneArmUnlocks(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // want "channel send while s\\.mu is held"
+	if !b {
+		s.mu.Unlock()
+	}
+}
+
+func (s *state) heldArmReturns(b bool) {
+	s.mu.Lock()
+	if !b {
+		s.mu.Unlock()
+		s.ch <- 1
+		return
+	}
+	s.mu.Unlock()
+	s.ch <- 1 // the arm that fell through unlocked: clean
+}
+
+// Function literals are independent windows: the body below runs
+// whenever f is invoked, not inside this critical section...
+func (s *state) litOutsideWindow() {
+	s.mu.Lock()
+	f := func() {
+		s.ch <- 1 // defining a literal blocks nothing: clean
+	}
+	s.mu.Unlock()
+	f()
+}
+
+// ...but a literal body holding its own lock is analyzed on its own.
+func (s *state) litOwnWindow() {
+	f := func() {
+		s.mu.Lock()
+		s.ch <- 1 // want "channel send while s\\.mu is held"
+		s.mu.Unlock()
+	}
+	f()
+}
+
+// A suppressed finding: the send is sanctioned (buffered wake-up).
+func (s *state) sanctioned() {
+	s.mu.Lock()
+	s.ch <- 1 //lint:allow lockheld fixture: buffered wake-up channel, never blocks
+	s.mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Fixture dependency: a stand-in for the repo's llm.Client so the
+// round-trip detection (Complete/CompleteBatch on internal/llm types)
+// can be exercised hermetically.
+package llm
+
+import "context"
+
+type Request struct{ Prompt string }
+type Response struct{ Text string }
+
+type Client struct{}
+
+func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
+	return Response{}, nil
+}
+
+func (c *Client) CompleteBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	return nil, nil
+}

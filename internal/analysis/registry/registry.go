@@ -1,0 +1,28 @@
+// Package registry enumerates the arynvet analyzer suite. It exists
+// apart from cmd/arynvet so tests (and future drivers) can iterate the
+// registered analyzers: the meta-test asserting every analyzer ships
+// golden fixtures walks this list.
+//
+// Concurrency contract: All returns a fresh slice of shared, stateless
+// analyzer values; safe for concurrent use.
+package registry
+
+import (
+	"aryn/internal/analysis"
+	"aryn/internal/analysis/ctxflow"
+	"aryn/internal/analysis/determinism"
+	"aryn/internal/analysis/lockheld"
+	"aryn/internal/analysis/sseorder"
+	"aryn/internal/analysis/wirestable"
+)
+
+// All returns every analyzer in the arynvet suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		lockheld.Analyzer,
+		sseorder.Analyzer,
+		wirestable.Analyzer,
+	}
+}

@@ -1,0 +1,90 @@
+package registry_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"aryn/internal/analysis/registry"
+)
+
+// Every analyzer registered in the arynvet suite must ship golden
+// fixtures and a test exercising them: an analyzer without fixtures can
+// regress silently behind a green CI.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	all := registry.All()
+	if len(all) == 0 {
+		t.Fatal("registry is empty")
+	}
+
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate the registry source directory")
+	}
+	analysisDir := filepath.Dir(filepath.Dir(self))
+
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q: Name, Doc, and Run are all mandatory", a.Name)
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+
+		pkgDir := filepath.Join(analysisDir, a.Name)
+		fixtures := filepath.Join(pkgDir, "testdata", "src")
+		if fi, err := os.Stat(fixtures); err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %q: no fixture tree at %s", a.Name, fixtures)
+			continue
+		}
+		if !hasWantComment(t, fixtures) {
+			t.Errorf("analyzer %q: fixture tree %s has no `// want` expectation — at least one positive case is required", a.Name, fixtures)
+		}
+		if !hasTestFile(t, pkgDir) {
+			t.Errorf("analyzer %q: no _test.go next to the analyzer in %s", a.Name, pkgDir)
+		}
+	}
+}
+
+// hasWantComment reports whether any fixture .go file under root
+// carries a `// want "..."` expectation.
+func hasWantComment(t *testing.T, root string) bool {
+	t.Helper()
+	found := false
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || found || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		if strings.Contains(string(src), "// want \"") {
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	return found
+}
+
+func hasTestFile(t *testing.T, pkgDir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", pkgDir, err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+// Package sseorder enforces single-point SSE emission: every
+// Server-Sent-Events frame in the serving layer is written by the
+// id-monotonic emitter in internal/server/stream.go (sseConn.send), and
+// nowhere else. The streaming contract — strictly increasing event ids,
+// exactly one terminal event, flush-per-frame — is a property of that
+// one code path; a handler hand-writing "data: ..." bypasses the id
+// counter and silently breaks client resume and event ordering.
+//
+// The check is textual at the frame level: any string literal in
+// internal/server (outside stream.go) whose content contains an SSE
+// field prefix at the start of a line ("id: ", "event: ", "data: ",
+// "retry: ") is a frame being assembled outside the emitter.
+//
+// Concurrency contract: stateless; see package analysis.
+package sseorder
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+
+	"aryn/internal/analysis"
+)
+
+// Analyzer flags SSE frames written outside the emitter.
+var Analyzer = &analysis.Analyzer{
+	Name: "sseorder",
+	Doc: "flag SSE frame writes outside the id-monotonic emitter (internal/server/stream.go)\n\n" +
+		"Every SSE frame must flow through sseConn.send so event ids stay strictly increasing and " +
+		"each stream has exactly one terminal event.",
+	Run: run,
+}
+
+// serverPkg scopes the check; emitterFile is the one file allowed to
+// assemble frames.
+const (
+	serverPkg   = "internal/server"
+	emitterFile = "stream.go"
+)
+
+// frameField matches an SSE field prefix at the start of a line of the
+// literal's content.
+var frameField = regexp.MustCompile(`(?m)^(id|event|data|retry): `)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathHasSuffix(pass.Pkg.Path(), serverPkg) ||
+		analysis.PathHasSuffix(pass.Pkg.Path(), serverPkg+"/api") {
+		return nil, nil
+	}
+	for _, f := range pass.SrcFiles() {
+		if analysis.FileBase(pass.Fset, f.Pos()) == emitterFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			content, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if frameField.MatchString(content) {
+				pass.Reportf(lit.Pos(), "SSE frame assembled outside the id-monotonic emitter: route it through sseConn.send (stream.go)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

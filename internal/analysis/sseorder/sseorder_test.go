@@ -1,0 +1,12 @@
+package sseorder_test
+
+import (
+	"testing"
+
+	"aryn/internal/analysis/analyzertest"
+	"aryn/internal/analysis/sseorder"
+)
+
+func TestSSEOrder(t *testing.T) {
+	analyzertest.Run(t, "testdata", sseorder.Analyzer, "aryn/internal/server")
+}

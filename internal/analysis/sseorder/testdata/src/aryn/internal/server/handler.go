@@ -1,0 +1,19 @@
+// Fixture handler file: frame assembly anywhere but stream.go bypasses
+// the id-monotonic emitter.
+package server
+
+import (
+	"fmt"
+	"io"
+)
+
+func handler(w io.Writer) {
+	fmt.Fprintf(w, "data: %s\n\n", "payload") // want "SSE frame assembled outside the id-monotonic emitter"
+	s := "event: done\n\n"                    // want "SSE frame assembled outside the id-monotonic emitter"
+	_ = s
+	m := "x\ndata: y" // want "SSE frame assembled outside the id-monotonic emitter"
+	_ = m
+
+	fmt.Fprintf(w, "plain text %s", "x") // not a frame: clean
+	_ = "metadata: value"                // field prefix is anchored at line start: clean
+}

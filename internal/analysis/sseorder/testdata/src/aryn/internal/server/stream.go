@@ -1,0 +1,12 @@
+// Fixture emitter file: stream.go is the one place allowed to assemble
+// SSE frames.
+package server
+
+import (
+	"fmt"
+	"io"
+)
+
+func send(w io.Writer, id int, event, data string) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data) // emitter file: clean
+}

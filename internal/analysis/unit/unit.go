@@ -1,0 +1,275 @@
+// Package unit implements the command protocol `go vet -vettool=...`
+// speaks, so the arynvet suite runs as a first-class vet tool: per
+// package, under the go command's build cache, with type information
+// supplied as compiler export data. It is a dependency-free analogue of
+// golang.org/x/tools/go/analysis/unitchecker.
+//
+// The protocol (see cmd/go/internal/work and cmd/go/internal/vet):
+//
+//	tool -V=full      print "name version <hash>" for build caching
+//	tool -flags       print a JSON description of supported flags
+//	tool [flags] x.cfg analyze one compilation unit described by x.cfg
+//
+// The .cfg file is JSON: the unit's Go files, its import map, and the
+// export-data file of every dependency. Diagnostics go to stderr as
+// "file:line:col: message (analyzer)"; any diagnostic exits 1, which go
+// vet turns into a failed run. Facts are not used — every arynvet
+// analyzer is package-local — so the vetx output the go command expects
+// is written empty.
+//
+// Concurrency contract: one process analyzes one compilation unit;
+// analyzers run sequentially. The go command itself fans units out.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"aryn/internal/analysis"
+)
+
+// Config mirrors the JSON vet config the go command writes for each
+// compilation unit (cmd/go/internal/work.vetConfig). Fields the driver
+// does not consume are retained so unknown-field decoding stays strict
+// in tests while the real decoder stays lenient across toolchains.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet tool built on this driver. It never
+// returns: it exits 0 on a clean unit, 1 when diagnostics were reported,
+// and 2 on driver failure.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (the go command passes -V=full)")
+	describeFlags := fs.Bool("flags", false, "print a JSON description of flags and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, firstLine(a.Doc))
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if *version != "" {
+		// The go command requires "<f0> version <f2...>" and hashes the
+		// output into its action cache, so the version must change when
+		// the tool's code does: hash the executable itself.
+		fmt.Printf("%s version %s\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if *describeFlags {
+		printFlagDefs(analyzers)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected exactly one *.cfg argument (invoke via go vet -vettool)\n", progname)
+		os.Exit(2)
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	exit, err := Run(args[0], active, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+	os.Exit(exit)
+}
+
+// Run analyzes the compilation unit described by the config file with
+// the given analyzers, writing diagnostics to w. It returns the intended
+// exit code (0 clean, 1 diagnostics).
+func Run(configFile string, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode vet config %s: %v", configFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, fmt.Errorf("package %s has no Go files", cfg.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  configImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		return 0, err
+	}
+
+	exit := 0
+	if !cfg.VetxOnly {
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg,
+				TypesInfo: info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			}
+			diags = analysis.Suppress(fset, files, a.Name, diags)
+			sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+			for _, d := range diags {
+				fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, a.Name)
+				exit = 1
+			}
+		}
+	}
+
+	if _, err := writeVetx(cfg); err != nil {
+		return 0, err
+	}
+	return exit, nil
+}
+
+// writeVetx writes the (empty — no facts) vetx output the go command
+// caches for downstream units.
+func writeVetx(cfg *Config) (int, error) {
+	if cfg.VetxOutput == "" {
+		return 0, nil
+	}
+	return 0, os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// configImporter resolves imports through the unit's import map to the
+// compiler export data the go command already produced for every
+// dependency — the same mechanism the standard vet tool uses.
+func configImporter(cfg *Config, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printFlagDefs prints the JSON flag description `go vet` requests with
+// -flags: one boolean per analyzer, so -<name>=false disables it.
+func printFlagDefs(analyzers []*analysis.Analyzer) {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := make([]flagDef, 0, len(analyzers))
+	for _, a := range analyzers {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	out, _ := json.MarshalIndent(defs, "", "\t")
+	fmt.Println(string(out))
+}
+
+// selfHash content-hashes the running executable so rebuilt tools get
+// fresh cache keys.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

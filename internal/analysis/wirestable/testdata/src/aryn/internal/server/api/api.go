@@ -1,0 +1,26 @@
+// Fixture: a stand-in for the frozen /v1 wire-contract package. Every
+// exported field of an exported struct is wire surface.
+package api
+
+type QueryRequest struct {
+	Question   string `json:"question"`
+	MaxDocs    int    // want "exported api field QueryRequest\\.MaxDocs has no json tag"
+	PlanHint   string `json:"PlanHint"`    // want "json tag \"PlanHint\" is not snake_case"
+	TraceLevel string `json:"trace-level"` // want "json tag \"trace-level\" is not snake_case"
+	NoJSONKey  string `yaml:"no_json"`     // want "exported api field QueryRequest\\.NoJSONKey has no json tag"
+	internal   string // unexported: not wire surface
+	Skipped    string `json:"-"` // explicitly not serialized: clean
+}
+
+type queryState struct {
+	Field string // unexported type: exempt
+}
+
+type Envelope struct {
+	QueryRequest        // embedded: exempt
+	ID           string `json:"id"`
+}
+
+func defaults() QueryRequest {
+	return QueryRequest{"q", 10, "", "", "", "", ""} // want "unkeyed api\\.QueryRequest literal"
+}

@@ -1,0 +1,34 @@
+// Fixture: the serving layer consuming the wire-contract package —
+// literal keying is enforced everywhere, decoder strictness in the
+// decoder scope.
+package server
+
+import (
+	"encoding/json"
+	"io"
+
+	"aryn/internal/server/api"
+)
+
+func keyed() api.QueryRequest {
+	return api.QueryRequest{Question: "q"} // keyed: clean
+}
+
+func unkeyed() api.Envelope {
+	return api.Envelope{api.QueryRequest{Question: "q"}, "id"} // want "unkeyed api\\.Envelope literal"
+}
+
+func decodeChained(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v) // want "Decode chained directly"
+}
+
+func decodeLenient(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	return dec.Decode(v) // want "decoder Decode without DisallowUnknownFields"
+}
+
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v) // strict: clean
+}

@@ -1,0 +1,219 @@
+// Package wirestable enforces the stability of the /v1 wire contract
+// (internal/server/api). Three rules keep producer, consumers, and
+// documentation in lockstep:
+//
+//   - every exported field of an api struct carries an explicit
+//     snake_case json tag (or "-") — field names are wire surface, and
+//     Go's default CamelCase marshaling leaks refactors onto the wire;
+//   - api struct literals are keyed, everywhere in the tree — an
+//     unkeyed literal silently reshuffles meaning when a DTO gains a
+//     field;
+//   - request decoders in the serving layer call DisallowUnknownFields
+//     before Decode — silently dropped request fields are wire drift on
+//     the read side.
+//
+// Concurrency contract: stateless; see package analysis.
+package wirestable
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"aryn/internal/analysis"
+)
+
+// Analyzer enforces the /v1 DTO conventions.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirestable",
+	Doc: "flag wire-contract drift in internal/server/api: missing or non-snake_case json tags, unkeyed api literals, lenient request decoders\n\n" +
+		"The /v1 DTO package is frozen wire surface; this keeps its field names explicit, its literals keyed, " +
+		"and its request decoding strict.",
+	Run: run,
+}
+
+// apiPkg is the wire-contract package; decoderScope is where request
+// bodies are decoded.
+const apiPkg = "internal/server/api"
+
+var decoderScope = []string{"internal/server", apiPkg}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	inAPI := analysis.PathHasSuffix(pass.Pkg.Path(), apiPkg)
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if inAPI {
+					checkTags(pass, n)
+				}
+			case *ast.CompositeLit:
+				checkKeyed(pass, n)
+			}
+			return true
+		})
+	}
+	if analysis.PathHasSuffix(pass.Pkg.Path(), decoderScope...) {
+		for _, f := range pass.SrcFiles() {
+			checkDecoders(pass, f)
+		}
+	}
+	return nil, nil
+}
+
+// checkTags requires an explicit snake_case json tag on every exported,
+// non-embedded field of an exported api struct.
+func checkTags(pass *analysis.Pass, spec *ast.TypeSpec) {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok || !spec.Name.IsExported() {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if field.Tag == nil {
+				pass.Reportf(name.Pos(), "exported api field %s.%s has no json tag: field names are wire surface", spec.Name.Name, name.Name)
+				continue
+			}
+			raw, err := strconv.Unquote(field.Tag.Value)
+			if err != nil {
+				continue
+			}
+			tag, ok := reflect.StructTag(raw).Lookup("json")
+			if !ok {
+				pass.Reportf(name.Pos(), "exported api field %s.%s has no json tag: field names are wire surface", spec.Name.Name, name.Name)
+				continue
+			}
+			wire, _, _ := strings.Cut(tag, ",")
+			if wire == "-" {
+				continue
+			}
+			if !snakeCase.MatchString(wire) {
+				pass.Reportf(name.Pos(), "api field %s.%s json tag %q is not snake_case", spec.Name.Name, name.Name, wire)
+			}
+		}
+	}
+}
+
+// checkKeyed flags unkeyed composite literals of api struct types, in
+// whatever package they appear.
+func checkKeyed(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !analysis.PathHasSuffix(obj.Pkg().Path(), apiPkg) {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, e := range lit.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); !ok {
+			pass.Reportf(lit.Pos(), "unkeyed %s.%s literal: adding a DTO field would silently reshuffle it", obj.Pkg().Name(), obj.Name())
+			return
+		}
+	}
+}
+
+// checkDecoders enforces DisallowUnknownFields on request decoders: a
+// chained json.NewDecoder(...).Decode(...) can never be strict, and a
+// decoder variable must call DisallowUnknownFields somewhere in the same
+// function as its Decode.
+func checkDecoders(pass *analysis.Pass, f *ast.File) {
+	var funcs []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				funcs = append(funcs, n.Body)
+			}
+			return false
+		case *ast.FuncLit:
+			funcs = append(funcs, n.Body)
+			return false
+		}
+		return true
+	})
+	for _, body := range funcs {
+		checkDecodersIn(pass, body)
+	}
+}
+
+func checkDecodersIn(pass *analysis.Pass, body ast.Node) {
+	type decoderUse struct {
+		decodes []*ast.CallExpr
+		strict  bool
+	}
+	uses := make(map[types.Object]*decoderUse)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, recv, name := analysis.FuncID(analysis.Callee(pass.TypesInfo, call))
+		if pkg != "encoding/json" || recv != "Decoder" {
+			return true
+		}
+		// Chained json.NewDecoder(r).Decode(v): strictness is impossible.
+		if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok && name == "Decode" {
+			ipkg, irecv, iname := analysis.FuncID(analysis.Callee(pass.TypesInfo, inner))
+			if ipkg == "encoding/json" && irecv == "" && iname == "NewDecoder" {
+				pass.Reportf(call.Pos(), "json.NewDecoder(...).Decode chained directly: call DisallowUnknownFields first so unknown request fields fail loudly")
+				return true
+			}
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		u := uses[obj]
+		if u == nil {
+			u = &decoderUse{}
+			uses[obj] = u
+		}
+		switch name {
+		case "Decode":
+			u.decodes = append(u.decodes, call)
+		case "DisallowUnknownFields":
+			u.strict = true
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if u.strict {
+			continue
+		}
+		for _, call := range u.decodes {
+			pass.Reportf(call.Pos(), "decoder Decode without DisallowUnknownFields: unknown request fields would be dropped silently")
+		}
+	}
+}

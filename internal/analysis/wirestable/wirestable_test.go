@@ -1,0 +1,15 @@
+package wirestable_test
+
+import (
+	"testing"
+
+	"aryn/internal/analysis/analyzertest"
+	"aryn/internal/analysis/wirestable"
+)
+
+func TestWirestable(t *testing.T) {
+	analyzertest.Run(t, "testdata", wirestable.Analyzer,
+		"aryn/internal/server/api", // tag discipline + in-package literals
+		"aryn/internal/server",     // cross-package literals + decoder strictness
+	)
+}

@@ -149,7 +149,7 @@ func (c *Context) CallContext() context.Context {
 	if c.callCtx != nil {
 		return c.callCtx
 	}
-	return context.Background()
+	return context.Background() //lint:allow ctxflow documented fallback: operators invoked outside a stage (direct calls in tests) have no plan context
 }
 
 // withCallCtx returns a copy of the context with the attempt context

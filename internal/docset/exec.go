@@ -181,7 +181,7 @@ func (ds *DocSet) ExecuteStream(ctx context.Context, sink StreamSink) ([]*docmod
 // deliver error cancels the run (the consumer went away); remaining
 // envelopes drain so stage goroutines exit cleanly.
 func (ds *DocSet) executeInto(ctx context.Context, deliver func(envelope) error) (*Trace, error) {
-	start := time.Now()
+	start := wallclock()
 	trace := &Trace{}
 	llmBefore, hasLLMStats := llm.StatsOf(ds.ctx.LLM)
 	traces := make([]*NodeTrace, 0, len(ds.stages)+1)
@@ -215,7 +215,7 @@ func (ds *DocSet) executeInto(ctx context.Context, deliver func(envelope) error)
 		// Busy spans cover the source's own work between yields — never
 		// the time blocked handing documents to a backpressured consumer —
 		// so EXPLAIN ANALYZE attributes downstream latency downstream.
-		resumed := time.Now()
+		resumed := wallclock()
 		yieldEnv := func(env envelope) error {
 			if cloneAtSource {
 				env.doc = env.doc.Clone()
@@ -224,8 +224,8 @@ func (ds *DocSet) executeInto(ctx context.Context, deliver func(envelope) error)
 			// Sample before sending: once a document crosses the channel its
 			// ownership transfers downstream.
 			srcTrace.addSample(env.doc.Summary())
-			srcTrace.noteSpan(resumed, time.Now())
-			defer func() { resumed = time.Now() }()
+			srcTrace.noteSpan(resumed, wallclock())
+			defer func() { resumed = wallclock() }()
 			select {
 			case srcOut <- env:
 				atomic.AddInt64(&srcTrace.Out, 1)
@@ -248,7 +248,7 @@ func (ds *DocSet) executeInto(ctx context.Context, deliver func(envelope) error)
 				return yieldEnv(env)
 			})
 		}
-		srcTrace.noteSpan(resumed, time.Now())
+		srcTrace.noteSpan(resumed, wallclock())
 		if err != nil {
 			errs[0] = err
 			cancel()
@@ -372,9 +372,9 @@ func runMapStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTrace, 
 				if err := ec.acquireWorker(ctx); err != nil {
 					return
 				}
-				t0 := time.Now()
+				t0 := wallclock()
 				results, err := applyWithRetry(ctx, ec, sp.mapFn, env.doc, nt)
-				nt.noteSpan(t0, time.Now())
+				nt.noteSpan(t0, wallclock())
 				ec.releaseWorker()
 				if err != nil {
 					fail(fmt.Errorf("%s: %w", sp.name, err))
@@ -482,7 +482,7 @@ func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTra
 	for i, env := range collected {
 		docs[i] = env.doc
 	}
-	t0 := time.Now()
+	t0 := wallclock()
 	var results []*docmodel.Document
 	var err error
 	// Barriers run one shot under the plan context directly (no per-attempt
@@ -493,7 +493,7 @@ func runBarrierStage(ctx context.Context, ec *Context, sp stageSpec, nt *NodeTra
 	} else {
 		results, err = sp.barrierFn(bec, docs)
 	}
-	nt.noteSpan(t0, time.Now())
+	nt.noteSpan(t0, wallclock())
 	if err != nil {
 		return fmt.Errorf("%s: %w", sp.name, err)
 	}

@@ -84,6 +84,13 @@ type NodeTrace struct {
 	epoch time.Time
 }
 
+// wallclock is the package's single sanctioned wall-clock read. Trace
+// spans and EXPLAIN ANALYZE timings are observability output, never
+// result bytes, so they may see real time — but only through this seam,
+// so any new wall-clock read added to an execution path is flagged at
+// the point it is introduced.
+var wallclock = time.Now //lint:allow determinism trace-only timing seam; spans never reach result bytes
+
 func newNodeTrace(name, tag string, sampleCap int) *NodeTrace {
 	return &NodeTrace{Name: name, Tag: tag, cap: sampleCap}
 }

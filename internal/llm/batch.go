@@ -208,7 +208,7 @@ func (b *Batcher) dispatch(batch []*pendingReq) {
 	}
 	b.mu.Unlock()
 
-	ctx := context.Background()
+	ctx := context.Background() //lint:allow ctxflow a flushed batch aggregates many callers' requests; no single caller's context may cancel the shared round-trip
 	if bc, ok := b.inner.(BatchClient); ok && len(batch) > 1 {
 		reqs := make([]Request, len(batch))
 		for i, p := range batch {

@@ -12,6 +12,13 @@ import (
 	"aryn/internal/llm"
 )
 
+// wallclock is the package's single sanctioned wall-clock read, feeding
+// the wall_ms figure in EXPLAIN ANALYZE output. Execution timing is
+// observability, never answer bytes; routing it through one seam means
+// the determinism analyzer flags any new wall-clock read where it is
+// introduced.
+var wallclock = time.Now //lint:allow determinism trace-only timing seam; wall_ms never reaches answer bytes
+
 // Executor lowers validated logical plans onto Sycamore DocSet pipelines
 // and derives typed answers from the terminal operator (§6.1 Execution).
 //
@@ -258,7 +265,7 @@ func (e *Executor) Run(ctx context.Context, plan *LogicalPlan) (*Result, error) 
 	res.Compiled = low.ds.PlanString()
 
 	llmBefore, hasLLMStats := llm.StatsOf(qec.LLM)
-	start := time.Now()
+	start := wallclock()
 	// Branch goroutines run under a child context so an executor error
 	// cancels them, and Join below guarantees none outlives the query.
 	tctx, tcancel := context.WithCancel(ctx)
@@ -408,7 +415,7 @@ func (e *Executor) RunStream(ctx context.Context, plan *LogicalPlan, hooks Strea
 	res.Compiled = low.ds.PlanString()
 
 	llmBefore, hasLLMStats := llm.StatsOf(qec.LLM)
-	start := time.Now()
+	start := wallclock()
 	tctx, tcancel := context.WithCancel(ctx)
 	defer tcancel()
 	for _, t := range low.tasks {

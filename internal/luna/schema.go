@@ -47,7 +47,16 @@ func InferSchema(store *index.Store) Schema {
 	}
 	fields := map[string]*agg{}
 	for _, d := range store.Documents() {
-		for k, v := range d.Properties {
+		// Visit properties in sorted order: example collection caps at
+		// three values, and the planner prompt must be byte-identical
+		// across runs, so nothing here may depend on map order.
+		keys := make([]string, 0, len(d.Properties))
+		for k := range d.Properties {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := d.Properties[k]
 			if v == nil {
 				continue
 			}

@@ -195,7 +195,7 @@ func (m *jobManager) run(job *ingestJob) {
 
 	// The job runs detached from any request context (the submitting
 	// client may be long gone) but dies with the manager on shutdown.
-	ctx, cancel := context.WithTimeout(context.Background(), m.srv.cfg.IngestTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), m.srv.cfg.IngestTimeout) //lint:allow ctxflow jobs outlive the submitting request by design; the goroutine below ties cancellation to manager shutdown
 	defer cancel()
 	go func() {
 		select {

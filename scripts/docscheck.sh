@@ -34,6 +34,21 @@ for dir in internal/*/; do
   fi
 done
 
+# ---- 1b. nested internal packages: package comment coverage ----
+# Subpackages (internal/x/y) document themselves with a
+# '// Package <pkg> ...' comment in some .go file; the doc.go file
+# convention is only enforced at the top level. Fixture trees (testdata)
+# are not packages.
+for dir in internal/*/*/; do
+  case "$dir" in *testdata*) continue ;; esac
+  pkg=$(basename "$dir")
+  ls "$dir"*.go >/dev/null 2>&1 || continue
+  if ! grep -l "^// Package $pkg " "$dir"*.go >/dev/null 2>&1; then
+    echo "docscheck: $dir has no '// Package $pkg ...' comment in any .go file" >&2
+    fail=1
+  fi
+done
+
 # ---- 2. per-command package comment coverage ----
 for dir in cmd/*/; do
   cmd=$(basename "$dir")
