@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Where the arynvet vet tool is built; override for a custom location.
 ARYNVET_BIN ?= $(CURDIR)/.bin/arynvet
 
-.PHONY: build test lint staticcheck print-staticcheck-version govulncheck print-govulncheck-version arynvet-bin vet-custom smoke bench bench-retrieval bench-serving chaos docs-check ci
+.PHONY: build test lint staticcheck print-staticcheck-version govulncheck print-govulncheck-version arynvet-bin vet-custom smoke bench bench-retrieval bench-serving bench-optimizer chaos docs-check cover fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,34 @@ bench-retrieval:
 	$(GO) test -run=NONE -bench 'BenchmarkRetrieval' -benchmem -benchtime=1s . > $$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_retrieval.json -label after < $$tmp; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# Optimizer trajectory: run the standard query mix with the cost-based
+# optimize phase off and on, and refresh the "optimizer" section of
+# BENCH_optimizer.json. The benchmark itself enforces the contract —
+# byte-identical answers and a >=30% LLM-call cut — so a regression in
+# any rewrite fails the target before the JSON is touched. Same
+# two-step-not-a-pipe shape as bench-retrieval.
+bench-optimizer:
+	tmp=$$(mktemp); \
+	$(GO) test -run=NONE -bench 'BenchmarkOptimizer' -benchtime=1x . > $$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson -out BENCH_optimizer.json -label optimizer < $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status
+
+# Coverage gate: merged profile over ./..., then per-package floors for
+# the optimization-loop packages (internal/cost, internal/luna,
+# internal/docset). CI uploads coverage.out as an artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	./scripts/covercheck.sh coverage.out
+
+# Short native-fuzz smoke over the plan surface: decode, validate, and
+# the cost-rewrite phase each fuzz briefly beyond their seed corpora
+# (testdata/fuzz/). One -fuzz pattern per invocation — go test allows
+# only a single fuzzing target at a time.
+fuzz-smoke:
+	$(GO) test ./internal/luna/ -run '^$$' -fuzz '^FuzzPlanDecode$$' -fuzztime 10s
+	$(GO) test ./internal/luna/ -run '^$$' -fuzz '^FuzzValidatePlan$$' -fuzztime 10s
+	$(GO) test ./internal/luna/ -run '^$$' -fuzz '^FuzzCostRewrite$$' -fuzztime 10s
 
 # Serving-load trajectory: boot arynd, drive the standard scenario mixes
 # with arynload, and refresh the "after" section of BENCH_serving.json.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"aryn/internal/core"
+	"aryn/internal/cost"
 	"aryn/internal/docmodel"
 	"aryn/internal/luna"
 	"aryn/internal/ntsb"
@@ -44,11 +45,12 @@ func main() {
 		stream      = flag.Bool("stream", false, "stream the answer: print partial result batches as the pipeline emits them, then the final result")
 		demo        = flag.String("demo", "", "demo mode: 'schema' prints the extracted schema (Table 3)")
 		parallelism = flag.Int("parallelism", 8, "Sycamore stage parallelism")
+		optimize    = flag.Bool("optimize", false, "enable the cost-based optimize phase (predicate hoisting, filter reordering, proxy cascades)")
 	)
 	flag.Parse()
 
 	show := display{plan: *showPlan, trace: *showTrace, docs: *showDocs, explain: *explain, stream: *stream}
-	if err := run(*nDocs, *seed, *sysSeed, *parallelism, *question, *demo, *interactive, show, *useRAG); err != nil {
+	if err := run(*nDocs, *seed, *sysSeed, *parallelism, *question, *demo, *interactive, *optimize, show, *useRAG); err != nil {
 		fmt.Fprintln(os.Stderr, "aryn:", err)
 		os.Exit(1)
 	}
@@ -60,7 +62,7 @@ type display struct {
 	plan, trace, docs, explain, stream bool
 }
 
-func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string, interactive bool, show display, useRAG bool) error {
+func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string, interactive, optimize bool, show display, useRAG bool) error {
 	ctx := context.Background()
 	fmt.Printf("generating %d synthetic NTSB accidents (seed %d)...\n", nDocs, seed)
 	corpus, err := ntsb.GenerateCorpus(nDocs, seed)
@@ -71,7 +73,7 @@ func run(nDocs int, seed, sysSeed int64, parallelism int, question, demo string,
 	if err != nil {
 		return err
 	}
-	sys := core.New(core.Config{Seed: sysSeed, Parallelism: parallelism})
+	sys := core.New(core.Config{Seed: sysSeed, Parallelism: parallelism, Optimize: optimize})
 	fmt.Printf("ingesting %d report documents (DocParse -> llmExtract -> index)...\n", len(blobs))
 	stats, err := sys.Ingest(ctx, blobs)
 	if err != nil {
@@ -148,6 +150,10 @@ func printResult(res *luna.Result, show display) {
 	if show.plan {
 		fmt.Println("\n-- logical plan --")
 		fmt.Println(res.Rewritten.JSON())
+		if res.Optimized != nil {
+			fmt.Println("\n-- optimized plan --")
+			fmt.Println(res.Optimized.JSON())
+		}
 		fmt.Println("\n-- compiled Sycamore pipeline --")
 		fmt.Println(res.Compiled)
 	}
@@ -157,7 +163,8 @@ func printResult(res *luna.Result, show display) {
 	}
 	if show.explain && res.Exec != nil {
 		fmt.Println("\n-- explain analyze --")
-		fmt.Println(res.Rewritten.AnnotatedJSON(res.Exec))
+		fmt.Println(res.ExecutedPlan().AnnotatedJSON(res.Exec))
+		printEstimates(res)
 	}
 	if show.docs {
 		fmt.Println("\n-- result documents --")
@@ -170,6 +177,33 @@ func printResult(res *luna.Result, show display) {
 		}
 	}
 	fmt.Println()
+}
+
+// printEstimates renders the cost model's pre-execution estimates next to
+// the runtime annotation above — the estimated half of EXPLAIN ANALYZE's
+// estimated-vs-observed comparison.
+func printEstimates(res *luna.Result) {
+	if res.Cost == nil {
+		return
+	}
+	fmt.Println("\n-- estimated cost (rewritten plan) --")
+	printEstimate(res.Cost)
+	if res.CostOptimized != nil {
+		fmt.Println("\n-- estimated cost (optimized plan) --")
+		printEstimate(res.CostOptimized)
+	}
+}
+
+func printEstimate(pe *cost.PlanEstimate) {
+	for _, n := range pe.Nodes {
+		src := "default"
+		if n.Observed {
+			src = "observed"
+		}
+		fmt.Printf("  %-24s docs %8.1f -> %8.1f  llm %7.1f  units %9.1f  (%s)\n",
+			n.Op+" #"+fmt.Sprint(n.ID), n.DocsIn, n.DocsOut, n.LLMCalls, n.Units, src)
+	}
+	fmt.Printf("  total: %.1f estimated LLM calls, %.1f cost units\n", pe.LLMCalls, pe.Units)
 }
 
 func repl(ctx context.Context, sys *core.System, show display) error {

@@ -64,6 +64,8 @@ func main() {
 		maxJobs     = flag.Int("max-queued-jobs", 4, "max ingest jobs waiting for the worker before shedding 429s")
 		faultSpec   = flag.String("fault-spec", "", "activate this JSON fault spec at boot (implies -fault-endpoint; see docs/fault-injection.md)")
 		faultEP     = flag.Bool("fault-endpoint", false, "expose the dev-only /faults chaos-control endpoint")
+		optimize    = flag.Bool("optimize", false, "enable the cost-based optimize phase by default (per-request \"optimize\" flag overrides)")
+		feedback    = flag.String("feedback", "", "optimizer feedback-store path: warm-start from it at boot, persist back on shutdown")
 	)
 	flag.Parse()
 
@@ -96,17 +98,19 @@ func main() {
 		cfg.Fault = inj
 	}
 
-	if err := run(*addr, *docs, *seed, *sysSeed, *parallelism, *llmCache, inj, cfg); err != nil {
+	if err := run(*addr, *docs, *seed, *sysSeed, *parallelism, *llmCache, *optimize, *feedback, inj, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "arynd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache string, inj *fault.Injector, cfg server.Config) error {
+func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache string, optimize bool, feedback string, inj *fault.Injector, cfg server.Config) error {
 	sys := core.New(core.Config{
 		Seed:         sysSeed,
 		Parallelism:  parallelism,
 		LLMCachePath: llmCache,
+		Optimize:     optimize,
+		FeedbackPath: feedback,
 		// The daemon always serves with the resilience middleware: retries
 		// with jittered backoff, the per-backend circuit breaker behind
 		// /stats, and degraded-mode serving when the breaker opens.
@@ -122,6 +126,12 @@ func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache s
 	}
 	if llmCache != "" {
 		log.Printf("arynd: LLM cache warm-start from %s", llmCache)
+	}
+	if optimize {
+		log.Printf("arynd: cost-based optimization ON by default")
+	}
+	if feedback != "" {
+		log.Printf("arynd: optimizer feedback warm-start from %s (%d signatures)", feedback, sys.OptimizerStats().Entries)
 	}
 
 	if docs > 0 {
@@ -178,6 +188,13 @@ func run(addr string, docs int, seed, sysSeed int64, parallelism int, llmCache s
 			log.Printf("arynd: persist LLM cache: %v", err)
 		} else {
 			log.Printf("arynd: LLM cache persisted to %s", llmCache)
+		}
+	}
+	if feedback != "" {
+		if err := sys.SaveFeedback(feedback); err != nil {
+			log.Printf("arynd: persist optimizer feedback: %v", err)
+		} else {
+			log.Printf("arynd: optimizer feedback persisted to %s", feedback)
 		}
 	}
 	return nil

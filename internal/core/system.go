@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"aryn/internal/cost"
 	"aryn/internal/docmodel"
 	"aryn/internal/docparse"
 	"aryn/internal/docset"
@@ -60,6 +61,19 @@ type Config struct {
 	// StreamBuffer sets the bounded depth, in batches, of streaming task
 	// edges (0 = docset default).
 	StreamBuffer int
+	// Optimize enables the cost-based plan-optimization phase (cheap
+	// pre-filters hoisted above LLM operators, llmFilter order refined by
+	// observed selectivities, proxy cascades). Off by default so
+	// equivalence tests and cautious deployments can diff optimized
+	// against unoptimized output; the feedback store records observations
+	// either way, so enabling it later starts warm.
+	Optimize bool
+	// CascadeLow/CascadeHigh override the proxy-cascade threshold band
+	// (0 = docset defaults).
+	CascadeLow, CascadeHigh float64
+	// FeedbackPath warm-starts the optimizer feedback store from disk
+	// when set; call SaveFeedback to persist it back.
+	FeedbackPath string
 }
 
 // System is a fully wired Aryn instance.
@@ -88,6 +102,10 @@ type System struct {
 	// Fault is the injector from Config.Fault (nil when chaos testing is
 	// not wired).
 	Fault *fault.Injector
+	// Cost is the optimizer's cost model and feedback store. Built once
+	// at construction and re-injected into every query service Prepare
+	// swaps in, so observed evidence survives re-ingests.
+	Cost *cost.Model
 
 	// mu guards the Prepare swap of Schema/Query/Conv against concurrent
 	// accessor reads.
@@ -182,6 +200,14 @@ func New(cfg Config) *System {
 	}
 	s.RAG = rag.New(store, meter, embedder)
 	s.RAG.K = cfg.RAGK
+	feedback := cost.NewStore()
+	if cfg.FeedbackPath != "" {
+		// A missing file is a cold start; a malformed one degrades to cold
+		// rather than failing construction (the store rebuilds itself from
+		// the very next query).
+		_ = feedback.Load(cfg.FeedbackPath)
+	}
+	s.Cost = cost.NewModel(feedback)
 	return s
 }
 
@@ -284,9 +310,19 @@ func (s *System) IngestObserved(ctx context.Context, blobs map[string][]byte, si
 // new service, never a half-built one.
 func (s *System) Prepare() {
 	schema := luna.InferSchema(s.Store)
+	cascade := luna.DefaultCascade()
+	if s.Config.CascadeLow > 0 {
+		cascade.Low = s.Config.CascadeLow
+	}
+	if s.Config.CascadeHigh > 0 {
+		cascade.High = s.Config.CascadeHigh
+	}
 	query := &luna.Service{
 		Planner:  luna.NewPlanner(s.LLM, schema),
 		Executor: &luna.Executor{EC: s.EC, Store: s.Store},
+		Cost:     s.Cost,
+		Optimize: s.Config.Optimize,
+		Cascade:  cascade,
 	}
 	conv := luna.NewConversation(query)
 	s.mu.Lock()
@@ -326,6 +362,13 @@ func (s *System) LLMStats() llm.StackStats { return s.Stack.StackStats() }
 // SaveLLMCache persists the response cache next to the index snapshots so
 // a later process warm-starts (pair with Config.LLMCachePath).
 func (s *System) SaveLLMCache(path string) error { return s.Stack.SaveCache(path) }
+
+// SaveFeedback persists the optimizer feedback store so a later process
+// starts with observed per-operator costs (pair with Config.FeedbackPath).
+func (s *System) SaveFeedback(path string) error { return s.Cost.Store.Save(path) }
+
+// OptimizerStats snapshots the feedback store's counters for /stats.
+func (s *System) OptimizerStats() cost.StoreStats { return s.Cost.Store.Stats() }
 
 // Ask answers a natural-language question through Luna (conversational:
 // follow-ups resolve against the previous query) using the system's

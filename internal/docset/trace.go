@@ -71,6 +71,13 @@ type NodeTrace struct {
 	PromptTokens     int64
 	CompletionTokens int64
 	CacheHits        int64
+	// Escalations, ProxyKept, and ProxyDropped are proxy-cascade counters
+	// (llmFilterCascade stages only; zero elsewhere): documents escalated
+	// to the full LLM because their proxy score fell inside the threshold
+	// band, kept on proxy score alone, and dropped on proxy score alone.
+	Escalations  int64
+	ProxyKept    int64
+	ProxyDropped int64
 	// Samples holds up to SampleSize one-line summaries of output docs.
 	Samples []string
 
@@ -130,6 +137,9 @@ type NodeSnapshot struct {
 	PromptTokens     int64
 	CompletionTokens int64
 	CacheHits        int64
+	Escalations      int64
+	ProxyKept        int64
+	ProxyDropped     int64
 	Err              string
 }
 
@@ -148,6 +158,9 @@ func (n *NodeTrace) Snapshot() NodeSnapshot {
 		PromptTokens:     atomic.LoadInt64(&n.PromptTokens),
 		CompletionTokens: atomic.LoadInt64(&n.CompletionTokens),
 		CacheHits:        atomic.LoadInt64(&n.CacheHits),
+		Escalations:      atomic.LoadInt64(&n.Escalations),
+		ProxyKept:        atomic.LoadInt64(&n.ProxyKept),
+		ProxyDropped:     atomic.LoadInt64(&n.ProxyDropped),
 	}
 	n.mu.Lock()
 	s.Busy = n.Duration

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"aryn/internal/cost"
 	"aryn/internal/docmodel"
 	"aryn/internal/docset"
 	"aryn/internal/index"
@@ -48,7 +49,14 @@ type Result struct {
 	Question  string
 	Plan      *LogicalPlan // as emitted by the planner (or submitted by the user)
 	Rewritten *LogicalPlan // after rule-based optimization
-	Answer    Answer
+	// Optimized is the cost-optimized plan that actually executed (nil
+	// when the optimize phase is off). Exec node IDs refer to it.
+	Optimized *LogicalPlan
+	// Cost/CostOptimized are the cost model's pre-execution estimates for
+	// the rewritten and optimized plans (nil without a cost model).
+	Cost          *cost.PlanEstimate
+	CostOptimized *cost.PlanEstimate
+	Answer        Answer
 	// Trace is the merged lineage of every pipeline the query ran: the
 	// output pipeline plus each scheduled branch, each operator exactly
 	// once.
@@ -65,6 +73,17 @@ type Result struct {
 	// collapses, batches) across planning AND execution of this query;
 	// nil when the client carries no middleware stack.
 	LLM *llm.StackStats
+}
+
+// ExecutedPlan returns the plan the executor actually ran — the
+// optimized plan when the optimize phase fired, the rule-rewritten plan
+// otherwise. Exec's node IDs always refer to this plan, so EXPLAIN
+// annotation must use it rather than Rewritten.
+func (r *Result) ExecutedPlan() *LogicalPlan {
+	if r.Optimized != nil {
+		return r.Optimized
+	}
+	return r.Rewritten
 }
 
 // lowered is the physical form of a plan: the output DocSet pipeline, the
@@ -188,6 +207,8 @@ func (e *Executor) lower(ec *docset.Context, plan *LogicalPlan) (*lowered, error
 				sets[n.ID] = in.FilterProps(compileFilters(n.Filters))
 			case OpLLMFilter:
 				sets[n.ID] = in.LLMFilter(n.Question)
+			case OpLLMFilterCascade:
+				sets[n.ID] = in.LLMFilterCascade(n.Question, n.Low, n.High)
 			case OpLLMExtract:
 				sets[n.ID] = in.LLMExtract(n.Fields)
 			case OpGroupByAggregate:

@@ -1,0 +1,393 @@
+package luna
+
+// Equivalence suite for the cost-based optimizer: every representative
+// plan below executes twice against identically-seeded fresh systems —
+// once with Optimize off, once with it on (predicate hoisting, filter
+// reordering, proxy-cascade insertion) — and the results must be
+// byte-identical while the optimized run spends no more LLM calls. This
+// is the semantics-preservation contract that makes the optimizer safe
+// to turn on.
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"aryn/internal/cost"
+	"aryn/internal/docmodel"
+	"aryn/internal/docset"
+	"aryn/internal/index"
+	"aryn/internal/llm"
+)
+
+// Single-concept predicate questions: the sim's filter matcher resolves
+// these deterministically (one concept group → lexical presence decides),
+// so commutation and cascade checks are exact, not probabilistic.
+const (
+	qFire  = "Does the report mention a fire?"
+	qBirds = "Does the report mention birds?"
+	qFuel  = "Does the report mention fuel?"
+	qIce   = "Does the report mention ice?"
+	qPilot = "Does the report mention a pilot?"
+)
+
+// equivCorpus indexes 16 documents with controlled topic vocabulary:
+// fire in 4, birds in 3, fuel in 6, ice in 3, pilot in 13. Texts avoid
+// the sim lexicon's synonym sets for topics they should not match.
+func equivCorpus(t *testing.T) *index.Store {
+	t.Helper()
+	store := index.NewStore()
+	docs := []struct {
+		id, state, damage string
+		engines           int
+		text              string
+	}{
+		{"A01", "KY", "Substantial", 1, "The pilot reported a fire in the engine compartment. Fuel was leaking from the line."},
+		{"A02", "KY", "Destroyed", 2, "A fire erupted after the hard landing. The pilot escaped without harm."},
+		{"A03", "KY", "Substantial", 1, "The pilot saw birds near the runway. Several birds struck the windshield."},
+		{"A04", "KY", "Minor", 1, "Fuel pressure dropped during cruise. The pilot diverted to a nearby field."},
+		{"A05", "CA", "Substantial", 2, "Ice accumulated on the wings during descent. The pilot lost airspeed."},
+		{"A06", "CA", "Destroyed", 1, "The airplane ran out of fuel short of the airport. The pilot made a forced approach."},
+		{"A07", "CA", "Substantial", 1, "Birds were reported over the threshold. The pilot executed a go-around."},
+		{"A08", "CA", "Minor", 2, "A small fire started in the cabin heater. Fuel fumes were noted by the pilot."},
+		{"A09", "TX", "Substantial", 1, "The pilot encountered ice at altitude. Fuel flow remained normal."},
+		{"A10", "TX", "Destroyed", 1, "The airplane struck a deer on the runway. The pilot was uninjured."},
+		{"A11", "TX", "Substantial", 2, "Fuel contamination was found in the left tank. The pilot had sampled it before departure."},
+		{"A12", "TX", "Minor", 1, "The canopy latch released in flight. The airplane landed without further event."},
+		{"A13", "FL", "Substantial", 1, "Birds gathered on the taxiway. The airplane aborted its takeoff roll."},
+		{"A14", "FL", "Destroyed", 2, "A fire consumed the airframe after impact. Witnesses called for help."},
+		{"A15", "FL", "Substantial", 2, "Ice formed inside the carburetor. The pilot applied heat too late."},
+		{"A16", "FL", "Minor", 1, "The tow bar was left attached. The pilot stopped the taxi immediately."},
+	}
+	for _, d := range docs {
+		doc := docmodel.New(d.id)
+		doc.SetProperty("accidentNumber", d.id)
+		doc.SetProperty("us_state", d.state)
+		doc.SetProperty("aircraftDamage", d.damage)
+		doc.SetProperty("engines", d.engines)
+		doc.Text = d.text
+		if err := store.PutDocument(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+// newEquivService wires a fresh, identically-seeded system. Fresh per run
+// so the optimized and unoptimized executions cannot share an LLM cache —
+// call counts stay honest.
+func newEquivService(t *testing.T, optimize bool, model *cost.Model) *Service {
+	t.Helper()
+	store := equivCorpus(t)
+	ec := docset.NewContext(docset.WithLLM(llm.NewSim(1)))
+	return &Service{
+		Planner:  NewPlanner(llm.NewSim(1), InferSchema(store)),
+		Executor: &Executor{EC: ec, Store: store},
+		Cost:     model,
+		Optimize: optimize,
+		Cascade:  DefaultCascade(),
+	}
+}
+
+func chain(ops ...LogicalOp) *LogicalPlan { return &LogicalPlan{Ops: ops} }
+
+// equivalencePlans is the representative DAG mix: filter chains of every
+// depth the optimizer reorders, hoistable deterministic predicates,
+// extract/group/fraction/project consumers, joins, and a diamond.
+func equivalencePlans() []struct {
+	name string
+	plan *LogicalPlan
+} {
+	return []struct {
+		name string
+		plan *LogicalPlan
+	}{
+		{"count-after-fire", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qFire},
+			LogicalOp{Op: OpCount})},
+		{"state-scan-fuel", chain(
+			LogicalOp{Op: OpQueryDatabase, Filters: []FilterSpec{{Field: "us_state", Kind: "term", Value: "KY"}}},
+			LogicalOp{Op: OpLLMFilter, Question: qFuel},
+			LogicalOp{Op: OpCount})},
+		{"two-filter-chain", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qPilot},
+			LogicalOp{Op: OpLLMFilter, Question: qFire},
+			LogicalOp{Op: OpCount})},
+		{"three-filter-chain", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qPilot},
+			LogicalOp{Op: OpLLMFilter, Question: qFuel},
+			LogicalOp{Op: OpLLMFilter, Question: qIce},
+			LogicalOp{Op: OpCount})},
+		{"hoist-basic-filter", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qFuel},
+			LogicalOp{Op: OpBasicFilter, Filters: []FilterSpec{{Field: "engines", Kind: "term", Value: 1}}},
+			LogicalOp{Op: OpCount})},
+		{"hoist-past-extract", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMExtract, Fields: []llm.FieldSpec{{Name: "damaged_part", Type: "string"}}},
+			LogicalOp{Op: OpBasicFilter, Filters: []FilterSpec{{Field: "us_state", Kind: "term", Value: "TX"}}},
+			LogicalOp{Op: OpCount})},
+		{"filter-then-group", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qPilot},
+			LogicalOp{Op: OpGroupByAggregate, Key: "us_state", Agg: "count"})},
+		{"fraction-of-filtered", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qPilot},
+			LogicalOp{Op: OpFraction, Question: qFire})},
+		{"project-birds", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qBirds},
+			LogicalOp{Op: OpProject, ProjectFields: []string{"us_state"}})},
+		{"distinct-states", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qFuel},
+			LogicalOp{Op: opDistinct, Field: "us_state"},
+			LogicalOp{Op: OpProject, ProjectFields: []string{"us_state"}})},
+		{"limit-after-filter", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qFuel},
+			LogicalOp{Op: OpLimit, K: 3},
+			LogicalOp{Op: OpProject, ProjectFields: []string{"accidentNumber"}})},
+		{"generate-fires", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qFire},
+			LogicalOp{Op: OpLLMGenerate, Instruction: "summarize the fire reports"})},
+		{"topk-grouped", chain(
+			LogicalOp{Op: OpQueryDatabase},
+			LogicalOp{Op: OpLLMFilter, Question: qPilot},
+			LogicalOp{Op: OpGroupByAggregate, Key: "us_state", Agg: "count"},
+			LogicalOp{Op: OpTopK, Field: "value", K: 2})},
+		{"join-then-filter", &LogicalPlan{
+			Nodes: []PlanNode{
+				{ID: "n1", LogicalOp: LogicalOp{Op: OpQueryDatabase,
+					Filters: []FilterSpec{{Field: "us_state", Kind: "term", Value: "KY"}}}},
+				{ID: "n2", LogicalOp: LogicalOp{Op: OpQueryDatabase,
+					Filters: []FilterSpec{{Field: "aircraftDamage", Kind: "term", Value: "Substantial"}}}},
+				{ID: "n3", Inputs: []string{"n1", "n2"}, LogicalOp: LogicalOp{Op: OpJoin,
+					LeftKey: "accidentNumber", RightKey: "accidentNumber", JoinKind: "inner", Prefix: "right"}},
+				{ID: "n4", Inputs: []string{"n3"}, LogicalOp: LogicalOp{Op: OpLLMFilter, Question: qFuel}},
+				{ID: "n5", Inputs: []string{"n4"}, LogicalOp: LogicalOp{Op: OpCount}},
+			},
+			Output: "n5",
+		}},
+		{"diamond-join", &LogicalPlan{
+			Nodes: []PlanNode{
+				{ID: "n1", LogicalOp: LogicalOp{Op: OpQueryDatabase,
+					Filters: []FilterSpec{{Field: "engines", Kind: "term", Value: 1}}}},
+				{ID: "n2", Inputs: []string{"n1"}, LogicalOp: LogicalOp{Op: OpLLMFilter, Question: qPilot}},
+				{ID: "n3", LogicalOp: LogicalOp{Op: OpQueryDatabase,
+					Filters: []FilterSpec{{Field: "aircraftDamage", Kind: "term", Value: "Substantial"}}}},
+				{ID: "n4", Inputs: []string{"n3"}, LogicalOp: LogicalOp{Op: OpLLMFilter, Question: qIce}},
+				{ID: "n5", Inputs: []string{"n2", "n4"}, LogicalOp: LogicalOp{Op: OpJoin,
+					LeftKey: "accidentNumber", RightKey: "accidentNumber", JoinKind: "inner", Prefix: "right"}},
+				{ID: "n6", Inputs: []string{"n5"}, LogicalOp: LogicalOp{Op: OpCount}},
+			},
+			Output: "n6",
+		}},
+	}
+}
+
+// runEquiv executes a plan on a fresh system with the optimize phase set
+// as given and returns the result plus its total LLM call count.
+func runEquiv(t *testing.T, plan *LogicalPlan, optimize bool) (*Result, int64) {
+	t.Helper()
+	svc := newEquivService(t, optimize, cost.NewModel(cost.NewStore()))
+	res, err := svc.RunPlan(context.Background(), "equiv", plan.Clone())
+	if err != nil {
+		t.Fatalf("optimize=%v: %v", optimize, err)
+	}
+	return res, sumLLMCalls(res.Exec)
+}
+
+func sumLLMCalls(d *ExecDetail) int64 {
+	if d == nil {
+		return 0
+	}
+	var n int64
+	for _, ne := range d.Nodes {
+		n += ne.Runtime.LLMCalls
+	}
+	return n
+}
+
+func docIDs(res *Result) []string {
+	ids := make([]string, 0, len(res.Docs))
+	for _, d := range res.Docs {
+		ids = append(ids, d.ID)
+	}
+	return ids
+}
+
+func TestOptimizerEquivalence(t *testing.T) {
+	var totalOff, totalOn int64
+	for _, tc := range equivalencePlans() {
+		t.Run(tc.name, func(t *testing.T) {
+			off, callsOff := runEquiv(t, tc.plan, false)
+			on, callsOn := runEquiv(t, tc.plan, true)
+
+			offJSON, err := json.Marshal(off.Answer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			onJSON, err := json.Marshal(on.Answer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(offJSON) != string(onJSON) {
+				t.Errorf("answers diverge:\n  off: %s\n  on:  %s", offJSON, onJSON)
+			}
+			if !reflect.DeepEqual(docIDs(off), docIDs(on)) {
+				t.Errorf("result docs diverge:\n  off: %v\n  on:  %v", docIDs(off), docIDs(on))
+			}
+			if callsOn > callsOff {
+				t.Errorf("optimized run spent MORE LLM calls: %d > %d", callsOn, callsOff)
+			}
+			if off.Optimized != nil {
+				t.Error("unoptimized result must not carry an optimized plan")
+			}
+			if on.Optimized == nil {
+				t.Error("optimized result must carry the optimized plan")
+			}
+			totalOff += callsOff
+			totalOn += callsOn
+		})
+	}
+	// Across the whole mix the optimizer must actually save something —
+	// equal counts everywhere would mean the phase is a no-op.
+	if totalOn >= totalOff {
+		t.Errorf("no aggregate savings: optimized %d calls vs %d unoptimized", totalOn, totalOff)
+	}
+	t.Logf("LLM calls across mix: %d unoptimized, %d optimized", totalOff, totalOn)
+}
+
+// TestOptimizedResultAnnotations pins the observability contract: with the
+// phase on, the result carries the optimized plan, both cost estimates,
+// and an exec trace whose cascade node accounts for every input document.
+func TestOptimizedResultAnnotations(t *testing.T) {
+	plan := chain(
+		LogicalOp{Op: OpQueryDatabase},
+		LogicalOp{Op: OpLLMFilter, Question: qFire},
+		LogicalOp{Op: OpCount})
+	svc := newEquivService(t, true, cost.NewModel(cost.NewStore()))
+	res, err := svc.RunPlan(context.Background(), "annotated", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimized == nil || res.Cost == nil || res.CostOptimized == nil {
+		t.Fatalf("missing annotations: optimized=%v cost=%v costOptimized=%v",
+			res.Optimized != nil, res.Cost != nil, res.CostOptimized != nil)
+	}
+	if res.ExecutedPlan() != res.Optimized {
+		t.Error("ExecutedPlan must be the optimized plan when the phase ran")
+	}
+	var cascade *NodeExec
+	for i, ne := range res.Exec.Nodes {
+		if ne.Op == OpLLMFilterCascade {
+			cascade = &res.Exec.Nodes[i]
+		}
+	}
+	if cascade == nil {
+		t.Fatalf("no cascade node in exec detail: %+v", res.Exec.Nodes)
+	}
+	r := cascade.Runtime
+	if r.Escalations+r.ProxyKept+r.ProxyDropped != r.DocsIn {
+		t.Errorf("cascade accounting: escalated %d + kept %d + dropped %d != in %d",
+			r.Escalations, r.ProxyKept, r.ProxyDropped, r.DocsIn)
+	}
+	if r.LLMCalls > r.Escalations {
+		t.Errorf("cascade spent %d calls on %d escalations", r.LLMCalls, r.Escalations)
+	}
+	// The estimates must cover the LLM-bearing node and mark totals.
+	if res.Cost.LLMCalls <= 0 || res.Cost.Units <= 0 {
+		t.Errorf("rewritten-plan estimate empty: %+v", res.Cost)
+	}
+}
+
+// TestFeedbackReordersChain closes the loop: executing a badly-ordered
+// filter chain (broad predicate first) feeds observed selectivities into
+// the store, after which the optimizer reorders the chain to put the
+// selective predicate first. This is the acceptance criterion's
+// "repeated-query run changes the plan's operator order".
+func TestFeedbackReordersChain(t *testing.T) {
+	model := cost.NewModel(cost.NewStore())
+	plan := chain(
+		LogicalOp{Op: OpQueryDatabase},
+		LogicalOp{Op: OpLLMFilter, Question: qPilot}, // ~13/16 pass
+		LogicalOp{Op: OpLLMFilter, Question: qFire},  // ~3/13 pass
+		LogicalOp{Op: OpCount})
+
+	// Cold store: default selectivities tie, the stable sort keeps the
+	// author's order.
+	cold := (&Optimizer{Model: model}).Optimize(plan.Clone())
+	if got := filterQuestions(cold); got[0] != qPilot || got[1] != qFire {
+		t.Fatalf("cold optimizer must preserve order, got %v", got)
+	}
+
+	// Execute with optimization OFF — observations are recorded anyway
+	// (the warm-start contract).
+	svc := newEquivService(t, false, model)
+	if _, err := svc.RunPlan(context.Background(), "warmup", plan.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if model.Store.Len() == 0 {
+		t.Fatal("execution recorded no observations")
+	}
+
+	warm := (&Optimizer{Model: model}).Optimize(plan.Clone())
+	if got := filterQuestions(warm); got[0] != qFire || got[1] != qPilot {
+		t.Errorf("warm optimizer should hoist the selective filter, got %v", got)
+	}
+
+	// And the reordered plan still answers identically.
+	res0, _ := runEquiv(t, plan, false)
+	svcWarm := newEquivService(t, true, model)
+	res1, err := svcWarm.RunPlan(context.Background(), "equiv", plan.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Answer.String() != res1.Answer.String() {
+		t.Errorf("reordered plan diverged: %q vs %q", res0.Answer.String(), res1.Answer.String())
+	}
+}
+
+// filterQuestions lists the questions of LLM-predicate nodes (plain or
+// cascade) in topological order.
+func filterQuestions(p *LogicalPlan) []string {
+	var out []string
+	order, err := p.topoOrder()
+	if err != nil {
+		return nil
+	}
+	for _, idx := range order {
+		n := p.Nodes[idx]
+		if n.Op == OpLLMFilter || n.Op == OpLLMFilterCascade {
+			out = append(out, n.Question)
+		}
+	}
+	return out
+}
+
+// TestObservationsSkipErroredRuns guards the feedback store against
+// poisoning: a cancelled execution must record nothing.
+func TestObservationsSkipErroredRuns(t *testing.T) {
+	model := cost.NewModel(cost.NewStore())
+	svc := newEquivService(t, false, model)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plan := chain(
+		LogicalOp{Op: OpQueryDatabase},
+		LogicalOp{Op: OpLLMFilter, Question: qFire},
+		LogicalOp{Op: OpCount})
+	if _, err := svc.RunPlan(ctx, "cancelled", plan); err == nil {
+		t.Skip("cancelled run unexpectedly succeeded")
+	}
+	if n := model.Store.Len(); n != 0 {
+		t.Errorf("errored run recorded %d signatures", n)
+	}
+}

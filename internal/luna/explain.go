@@ -52,6 +52,12 @@ type NodeRuntime struct {
 	PromptTokens     int64 `json:"llm_prompt_tokens"`
 	CompletionTokens int64 `json:"llm_completion_tokens"`
 	CacheHits        int64 `json:"llm_cache_hits"`
+	// Proxy-cascade counters (llmFilterCascade nodes only; omitted
+	// elsewhere): documents escalated to the full LLM, kept on proxy
+	// score alone, and dropped on proxy score alone.
+	Escalations  int64 `json:"escalations,omitempty"`
+	ProxyKept    int64 `json:"proxy_kept,omitempty"`
+	ProxyDropped int64 `json:"proxy_dropped,omitempty"`
 }
 
 // NodeExec pairs a plan node with its runtime.
@@ -137,6 +143,9 @@ func buildExecDetail(plan *LogicalPlan, trace *docset.Trace, start time.Time, wa
 			r.PromptTokens += nt.PromptTokens
 			r.CompletionTokens += nt.CompletionTokens
 			r.CacheHits += nt.CacheHits
+			r.Escalations += nt.Escalations
+			r.ProxyKept += nt.ProxyKept
+			r.ProxyDropped += nt.ProxyDropped
 			s, e := nt.Window()
 			if !s.IsZero() && (first.IsZero() || s.Before(first)) {
 				first = s

@@ -1,0 +1,122 @@
+package luna
+
+// Native fuzz targets for the plan surface the network exposes: plan-JSON
+// decoding (ParsePlan accepts raw client bytes), DAG validation, and the
+// cost-based rewrite phase (which must preserve validity and never add
+// LLM work for ANY valid plan, not just the ones the equivalence suite
+// enumerates). Seed corpora live in testdata/fuzz/<Target>/; CI runs a
+// short -fuzztime smoke over each target.
+
+import (
+	"testing"
+
+	"aryn/internal/cost"
+)
+
+// fuzzSeeds is the shared seed mix: well-formed linear and DAG plans, the
+// optimizer's special shapes (chains, hoists, cascades), and malformed
+// inputs that must fail cleanly.
+var fuzzSeeds = []string{
+	`{"ops":[{"op":"queryDatabase"},{"op":"count"}]}`,
+	`{"ops":[{"op":"queryDatabase","filters":[{"field":"us_state","kind":"term","value":"KY"}]},{"op":"llmFilter","question":"Does the report mention a fire?"},{"op":"count"}]}`,
+	`{"ops":[{"op":"queryDatabase"},{"op":"llmFilter","question":"a?"},{"op":"llmFilter","question":"b?"},{"op":"basicFilter","filters":[{"field":"engines","kind":"term","value":1}]},{"op":"count"}]}`,
+	`{"ops":[{"op":"queryDatabase"},{"op":"llmExtract","fields":[{"name":"damaged_part","type":"string"}]},{"op":"groupByAggregate","key":"damaged_part","agg":"count"}]}`,
+	`{"nodes":[{"id":"n1","op":"queryDatabase"},{"id":"n2","inputs":["n1"],"op":"llmFilterCascade","question":"q?","low":0.05,"high":0.9},{"id":"n3","inputs":["n2"],"op":"count"}],"output":"n3"}`,
+	`{"nodes":[{"id":"n1","op":"queryDatabase","filters":[{"field":"us_state","kind":"term","value":"KY"}]},{"id":"n2","op":"queryDatabase"},{"id":"n3","inputs":["n1","n2"],"op":"join","left_key":"accidentNumber","right_key":"accidentNumber","join_kind":"inner","prefix":"right"},{"id":"n4","inputs":["n3"],"op":"count"}],"output":"n4"}`,
+	`{"nodes":[{"id":"a","op":"queryDatabase"},{"id":"b","inputs":["a"],"op":"llmFilter","question":"x?"},{"id":"c","inputs":["a"],"op":"llmFilter","question":"y?"},{"id":"d","inputs":["b","c"],"op":"join","left_key":"accidentNumber","right_key":"accidentNumber"},{"id":"e","inputs":["d"],"op":"count"}],"output":"e"}`,
+	`{"ops":[{"op":"queryVectorDatabase","query":"bird strike","k":5},{"op":"limit","k":1}]}`,
+	`{"nodes":[{"id":"n1","op":"queryDatabase"},{"id":"n2","inputs":["n1","n1"],"op":"join"}],"output":"n2"}`,
+	`{"nodes":[{"id":"n1","inputs":["n1"],"op":"count"}],"output":"n1"}`,
+	`{"ops":[{"op":"teleport"}]}`,
+	`{"nodes":[{"id":"n1","op":"llmFilterCascade","question":"q?","low":2,"high":1}],"output":"n1"}`,
+	`not json at all`,
+	`{"ops":[]}`,
+	`{}`,
+}
+
+// FuzzPlanDecode asserts ParsePlan never panics, and that anything it
+// accepts re-encodes to a stable fixed point: JSON() must decode again
+// and re-encode byte-identically (the wire-stability invariant).
+func FuzzPlanDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		plan, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		_ = plan.String()
+		re := plan.JSON()
+		back, err := ParsePlan(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted plan failed: %v\nencoded: %s", err, re)
+		}
+		if again := back.JSON(); again != re {
+			t.Fatalf("JSON() is not a fixed point:\nfirst:  %s\nsecond: %s", re, again)
+		}
+	})
+}
+
+// FuzzValidatePlan asserts validation never panics and is deterministic:
+// the same plan validates the same way twice.
+func FuzzValidatePlan(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	schema := testSchema()
+	f.Fuzz(func(t *testing.T, data string) {
+		plan, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		first := Validate(plan, schema)
+		second := Validate(plan, schema)
+		if (first == nil) != (second == nil) {
+			t.Fatalf("validation not deterministic: %v then %v", first, second)
+		}
+	})
+}
+
+// FuzzCostRewrite asserts the optimize phase is total and safe on every
+// valid plan: no panic, the output still validates, and the number of
+// LLM-predicate evaluations per document cannot grow (cascade conversion
+// is 1:1; hoists and reorders only move nodes).
+func FuzzCostRewrite(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	schema := testSchema()
+	model := cost.NewModel(cost.NewStore())
+	f.Fuzz(func(t *testing.T, data string) {
+		plan, err := ParsePlan(data)
+		if err != nil || Validate(plan, schema) != nil {
+			return
+		}
+		o := &Optimizer{Model: model, Cascade: DefaultCascade()}
+		opt := o.Optimize(plan)
+		if err := Validate(opt, schema); err != nil {
+			t.Fatalf("optimized plan fails validation: %v\ninput: %s\noutput: %s", err, plan.JSON(), opt.JSON())
+		}
+		if got, want := countLLMNodes(opt), countLLMNodes(plan); got > want {
+			t.Fatalf("optimizer added LLM nodes: %d > %d\ninput: %s\noutput: %s", got, want, plan.JSON(), opt.JSON())
+		}
+		// The phase must be deterministic: same input, same output bytes.
+		if second := o.Optimize(plan); second.JSON() != opt.JSON() {
+			t.Fatalf("optimize not deterministic:\nfirst:  %s\nsecond: %s", opt.JSON(), second.JSON())
+		}
+	})
+}
+
+// countLLMNodes counts nodes that dispatch per-document LLM calls.
+func countLLMNodes(p *LogicalPlan) int {
+	q := p.Clone()
+	n := 0
+	for _, node := range q.Nodes {
+		switch node.Op {
+		case OpLLMFilter, OpLLMFilterCascade, OpLLMExtract, OpLLMCluster, OpFraction:
+			n++
+		}
+	}
+	return n
+}

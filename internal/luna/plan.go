@@ -27,6 +27,12 @@ const (
 	OpLimit               = "limit"
 	OpProject             = "project"
 	OpLLMGenerate         = "llmGenerate"
+	// OpLLMFilterCascade is llmFilter behind an embedding-similarity
+	// proxy: documents scoring below Low are dropped and at or above High
+	// kept without an LLM call; only the uncertain band escalates to the
+	// full llmFilter predicate. The cost-based optimizer rewrites
+	// llmFilter into this form; plans may also request it directly.
+	OpLLMFilterCascade = "llmFilterCascade"
 	// OpJoin combines two upstream pipelines on equal property values —
 	// the §9 "extend Aryn to support joins" direction. It is the only
 	// operator with two inputs, which is what makes plans DAGs rather
@@ -49,8 +55,14 @@ type LogicalOp struct {
 	// queryDatabase / basicFilter
 	Keyword string       `json:"keyword,omitempty"`
 	Filters []FilterSpec `json:"filters,omitempty"`
-	// llmFilter / fraction
+	// llmFilter / llmFilterCascade / fraction
 	Question string `json:"question,omitempty"`
+	// llmFilterCascade: the proxy threshold band. Proxy scores below Low
+	// drop the document, at or above High keep it, in between escalate to
+	// the LLM. Zero values select the docset defaults (no drop rung / the
+	// cosine ceiling).
+	Low  float64 `json:"low,omitempty"`
+	High float64 `json:"high,omitempty"`
 	// llmExtract
 	Fields []llm.FieldSpec `json:"fields,omitempty"`
 	// groupByAggregate
@@ -450,6 +462,8 @@ func (op LogicalOp) Describe() string {
 		return "basicFilter(" + strings.Join(parts, " AND ") + ")"
 	case OpLLMFilter:
 		return fmt.Sprintf("llmFilter(%q)", op.Question)
+	case OpLLMFilterCascade:
+		return fmt.Sprintf("llmFilterCascade(%q, band=%g..%g)", op.Question, op.Low, op.High)
 	case OpLLMExtract:
 		names := make([]string, len(op.Fields))
 		for i, f := range op.Fields {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"aryn/internal/cost"
 	"aryn/internal/llm"
 )
 
@@ -53,6 +54,71 @@ func (p *Planner) Plan(ctx context.Context, question string) (raw, rewritten *Lo
 type Service struct {
 	Planner  *Planner
 	Executor *Executor
+	// Cost backs the optimize phase's estimates and receives per-operator
+	// feedback observations after every executed query; nil disables both.
+	Cost *cost.Model
+	// Optimize enables the cost-based optimize phase after the rule-based
+	// rewrites. Off, queries still feed the feedback store (when Cost is
+	// set), so turning optimization on later starts warm.
+	Optimize bool
+	// Cascade configures proxy-cascade insertion when Optimize is on.
+	Cascade CascadeOptions
+}
+
+// WithOptimize returns a copy of the service with the optimize phase
+// toggled — the per-request override behind the API's "optimize" flag.
+// The copy shares the planner, executor, and cost model.
+func (s *Service) WithOptimize(enabled bool) *Service {
+	c := *s
+	c.Optimize = enabled
+	return &c
+}
+
+// optimizePhase applies the cost-based optimizer to the rewritten plan.
+// It returns the plan to execute plus the optimized plan (nil when the
+// phase is off, so callers can tell "optimized" apart from "as
+// rewritten").
+func (s *Service) optimizePhase(rewritten *LogicalPlan) (toRun, optimized *LogicalPlan) {
+	if !s.Optimize {
+		return rewritten, nil
+	}
+	o := &Optimizer{Model: s.Cost, Cascade: s.Cascade}
+	optimized = o.Optimize(rewritten)
+	return optimized, optimized
+}
+
+// annotate fills a result's optimizer fields: the rewritten/optimized
+// plan split and the cost model's estimates for both.
+func (s *Service) annotate(res *Result, rewritten, optimized *LogicalPlan) {
+	res.Rewritten = rewritten
+	res.Optimized = optimized
+	if s.Cost == nil {
+		return
+	}
+	base := s.baseDocs()
+	res.Cost = EstimatePlan(rewritten, s.Cost, base)
+	if optimized != nil {
+		res.CostOptimized = EstimatePlan(optimized, s.Cost, base)
+	}
+}
+
+// observe records the executed plan's measured per-operator behaviour
+// into the feedback store — the write half of the optimization loop.
+// Partial (errored) executions are skipped: their truncated counts would
+// poison selectivity evidence.
+func (s *Service) observe(res *Result, err error) {
+	if s.Cost == nil || err != nil || res == nil || res.Exec == nil {
+		return
+	}
+	ObserveExec(res.ExecutedPlan(), res.Exec, s.Cost.Store)
+}
+
+// baseDocs is the corpus cardinality estimates start from.
+func (s *Service) baseDocs() float64 {
+	if s.Executor == nil || s.Executor.Store == nil {
+		return 0
+	}
+	return float64(s.Executor.Store.NumDocs())
 }
 
 // Ask plans, validates, optimizes, compiles, and executes the question.
@@ -62,13 +128,14 @@ func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Executor.Run(ctx, rewritten)
+	toRun, optimized := s.optimizePhase(rewritten)
+	res, err := s.Executor.Run(ctx, toRun)
 	if res != nil {
 		// Fill in the query facts even on a partial result so degraded-mode
 		// callers can still show the plan and per-node error annotations.
 		res.Question = question
 		res.Plan = raw
-		res.Rewritten = rewritten
+		s.annotate(res, rewritten, optimized)
 		if hasStats {
 			// Planner and executor share one middleware stack in a wired
 			// system, so a single delta covers the whole query.
@@ -78,6 +145,7 @@ func (s *Service) Ask(ctx context.Context, question string) (*Result, error) {
 			}
 		}
 	}
+	s.observe(res, err)
 	return res, err
 }
 
@@ -90,11 +158,15 @@ func (s *Service) RunPlan(ctx context.Context, question string, plan *LogicalPla
 	if err := Validate(plan, s.Planner.Schema); err != nil {
 		return nil, err
 	}
-	res, err := s.Executor.Run(ctx, Rewrite(plan, s.Planner.Rewrites))
+	rewritten := Rewrite(plan, s.Planner.Rewrites)
+	toRun, optimized := s.optimizePhase(rewritten)
+	res, err := s.Executor.Run(ctx, toRun)
 	if res != nil {
 		res.Question = question
 		res.Plan = plan
+		s.annotate(res, rewritten, optimized)
 	}
+	s.observe(res, err)
 	return res, err
 }
 
@@ -108,11 +180,12 @@ func (s *Service) AskStream(ctx context.Context, question string, hooks StreamHo
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Executor.RunStream(ctx, rewritten, hooks)
+	toRun, optimized := s.optimizePhase(rewritten)
+	res, err := s.Executor.RunStream(ctx, toRun, hooks)
 	if res != nil {
 		res.Question = question
 		res.Plan = raw
-		res.Rewritten = rewritten
+		s.annotate(res, rewritten, optimized)
 		if hasStats {
 			if after, ok := llm.StatsOf(s.Planner.Client); ok {
 				delta := after.Sub(before)
@@ -120,6 +193,7 @@ func (s *Service) AskStream(ctx context.Context, question string, hooks StreamHo
 			}
 		}
 	}
+	s.observe(res, err)
 	return res, err
 }
 
@@ -129,11 +203,15 @@ func (s *Service) RunPlanStream(ctx context.Context, question string, plan *Logi
 	if err := Validate(plan, s.Planner.Schema); err != nil {
 		return nil, err
 	}
-	res, err := s.Executor.RunStream(ctx, Rewrite(plan, s.Planner.Rewrites), hooks)
+	rewritten := Rewrite(plan, s.Planner.Rewrites)
+	toRun, optimized := s.optimizePhase(rewritten)
+	res, err := s.Executor.RunStream(ctx, toRun, hooks)
 	if res != nil {
 		res.Question = question
 		res.Plan = plan
+		s.annotate(res, rewritten, optimized)
 	}
+	s.observe(res, err)
 	return res, err
 }
 
@@ -146,9 +224,37 @@ type PlanPreview struct {
 	Plan *LogicalPlan
 	// Rewritten is the plan after rule-based optimization.
 	Rewritten *LogicalPlan
-	// Compiled is the physical Sycamore pipeline the rewritten plan
-	// lowers to.
+	// Optimized is the plan after the cost-based optimize phase (nil when
+	// the phase is off).
+	Optimized *LogicalPlan
+	// Cost/CostOptimized are the model's estimates for the rewritten and
+	// optimized plans (nil without a cost model) — the "estimated" half
+	// of the estimated-vs-observed story; the observed half arrives with
+	// execution (EXPLAIN ANALYZE).
+	Cost          *cost.PlanEstimate
+	CostOptimized *cost.PlanEstimate
+	// Compiled is the physical Sycamore pipeline the plan that would
+	// execute (optimized when the phase is on) lowers to.
 	Compiled string
+}
+
+// preview assembles a PlanPreview for a rewritten plan: optimize phase,
+// estimates, and the compiled rendering of the pipeline that would run.
+func (s *Service) preview(question string, raw, rewritten *LogicalPlan) (*PlanPreview, error) {
+	toRun, optimized := s.optimizePhase(rewritten)
+	compiled, err := s.Executor.Compile(toRun)
+	if err != nil {
+		return nil, err
+	}
+	pv := &PlanPreview{Question: question, Plan: raw, Rewritten: rewritten, Optimized: optimized, Compiled: compiled}
+	if s.Cost != nil {
+		base := s.baseDocs()
+		pv.Cost = EstimatePlan(rewritten, s.Cost, base)
+		if optimized != nil {
+			pv.CostOptimized = EstimatePlan(optimized, s.Cost, base)
+		}
+	}
+	return pv, nil
 }
 
 // PlanOnly plans, validates, rewrites, and compiles the question without
@@ -158,11 +264,7 @@ func (s *Service) PlanOnly(ctx context.Context, question string) (*PlanPreview, 
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := s.Executor.Compile(rewritten)
-	if err != nil {
-		return nil, err
-	}
-	return &PlanPreview{Question: question, Plan: raw, Rewritten: rewritten, Compiled: compiled}, nil
+	return s.preview(question, raw, rewritten)
 }
 
 // InspectPlan validates, rewrites, and compiles a user-submitted plan
@@ -172,10 +274,5 @@ func (s *Service) InspectPlan(plan *LogicalPlan) (*PlanPreview, error) {
 	if err := Validate(plan, s.Planner.Schema); err != nil {
 		return nil, err
 	}
-	rewritten := Rewrite(plan, s.Planner.Rewrites)
-	compiled, err := s.Executor.Compile(rewritten)
-	if err != nil {
-		return nil, err
-	}
-	return &PlanPreview{Plan: plan, Rewritten: rewritten, Compiled: compiled}, nil
+	return s.preview("", plan, Rewrite(plan, s.Planner.Rewrites))
 }

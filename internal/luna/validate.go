@@ -101,6 +101,13 @@ func Validate(plan *LogicalPlan, schema Schema) error {
 			if n.Question == "" {
 				addf("node %s: llmFilter requires a question", id)
 			}
+		case OpLLMFilterCascade:
+			if n.Question == "" {
+				addf("node %s: llmFilterCascade requires a question", id)
+			}
+			if n.High != 0 && n.Low > n.High {
+				addf("node %s: llmFilterCascade band is empty (low %g > high %g)", id, n.Low, n.High)
+			}
 		case OpLLMExtract:
 			if len(n.Fields) == 0 {
 				addf("node %s: llmExtract requires fields", id)

@@ -1,0 +1,167 @@
+package scenario
+
+// Optimizer scenarios: the serving-layer contract of the cost-based
+// optimization loop. optimizer-roundtrip walks the loop end to end (plan
+// with cost annotations → execute optimized → feedback store grows);
+// optimizer-equivalence runs the same plan optimized and unoptimized over
+// HTTP and requires identical answers on a stable corpus.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"aryn/internal/server/api"
+)
+
+// optimizerPlan is the fixed DAG both scenarios run: full scan → LLM
+// predicate → count. Under optimization the predicate becomes a proxy
+// cascade, so the plan exercises screening, escalation accounting, and
+// the feedback write path in one shot.
+const optimizerPlan = `{"nodes":[
+  {"id":"n1","op":"queryDatabase"},
+  {"id":"n2","op":"llmFilter","question":"Does the report mention an engine problem?","inputs":["n1"]},
+  {"id":"n3","op":"count","inputs":["n2"]}],"output":"n3"}`
+
+func optBool(v bool) *bool { return &v }
+
+// optimizerObservations reads the feedback-store observation counter from
+// /stats (0 when the optimizer block is absent).
+func optimizerObservations(ctx context.Context, c *Client) (int64, error) {
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if stats.Optimizer == nil {
+		return 0, nil
+	}
+	return stats.Optimizer.Observations, nil
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "optimizer-roundtrip",
+		Description: "Plans with optimize:true, checks the response carries cost-annotated original and optimized plans, executes the optimized plan, and watches the observed costs land in the feedback store",
+		Paper:       "§6 (plan optimization), ZenDB/UQE-style cost feedback loop",
+		Setup:       ensureCorpus,
+		Execute: func(ctx context.Context, c *Client) error {
+			plan := json.RawMessage(optimizerPlan)
+
+			var planned api.PlanResponse
+			if _, err := c.PostJSON(ctx, "/plan",
+				api.PlanRequest{Plan: plan, Optimize: optBool(true)}, &planned); err != nil {
+				return err
+			}
+			if len(planned.Plan.Optimized) == 0 {
+				return fmt.Errorf("optimize:true plan response missing plan.optimized")
+			}
+			if planned.Plan.Cost == nil || planned.Plan.CostOptimized == nil {
+				return fmt.Errorf("plan response missing cost estimates: cost=%v cost_optimized=%v",
+					planned.Plan.Cost != nil, planned.Plan.CostOptimized != nil)
+			}
+			if planned.Plan.CostOptimized.LLMCalls > planned.Plan.Cost.LLMCalls {
+				return fmt.Errorf("optimizer estimates MORE LLM calls: %.1f > %.1f",
+					planned.Plan.CostOptimized.LLMCalls, planned.Plan.Cost.LLMCalls)
+			}
+			// The optimized plan must have converted the predicate into a
+			// proxy cascade.
+			if !planContainsOp(planned.Plan.Optimized, "llmFilterCascade") {
+				return fmt.Errorf("optimized plan carries no llmFilterCascade node: %s", planned.Plan.Optimized)
+			}
+
+			before, err := optimizerObservations(ctx, c)
+			if err != nil {
+				return err
+			}
+			var out api.QueryResponse
+			if _, err := c.PostJSON(ctx, "/query",
+				api.QueryRequest{Plan: plan, Optimize: optBool(true), IncludePlan: true}, &out); err != nil {
+				if errors.Is(err, ErrShed) {
+					return nil // saturated server: the loop check needs a served query
+				}
+				return err
+			}
+			if out.Plan == nil || len(out.Plan.Optimized) == 0 || len(out.Plan.Executed) == 0 {
+				return fmt.Errorf("optimized query response missing plan detail")
+			}
+			after, err := optimizerObservations(ctx, c)
+			if err != nil {
+				return err
+			}
+			if after <= before {
+				return fmt.Errorf("feedback store did not grow: %d observations before, %d after", before, after)
+			}
+			return nil
+		},
+		Verify: func(ctx context.Context, c *Client) error {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+			if stats.Optimizer == nil || stats.Optimizer.Observations == 0 {
+				return fmt.Errorf("no optimizer observations recorded during the run")
+			}
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name:        "optimizer-equivalence",
+		Description: "Executes the same plan with optimize:false and optimize:true over HTTP and requires identical answers and doc counts on a stable corpus",
+		Paper:       "§6 (plan optimization must preserve semantics)",
+		Setup:       ensureCorpus,
+		Execute: func(ctx context.Context, c *Client) error {
+			plan := json.RawMessage(optimizerPlan)
+			before, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+
+			var plain api.QueryResponse
+			if _, err := c.PostJSON(ctx, "/query",
+				api.QueryRequest{Plan: plan, Optimize: optBool(false)}, &plain); err != nil {
+				return err
+			}
+			var optimized api.QueryResponse
+			if _, err := c.PostJSON(ctx, "/query",
+				api.QueryRequest{Plan: plan, Optimize: optBool(true)}, &optimized); err != nil {
+				return err
+			}
+
+			// Comparable only when no ingest changed the corpus between the
+			// two runs (same quiescence rule as the stream/batch cross-check).
+			after, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+			quiescent := before.Docs == after.Docs &&
+				before.Jobs == after.Jobs &&
+				after.Jobs.Running == 0
+			if quiescent && (plain.Answer != optimized.Answer || plain.Docs != optimized.Docs) {
+				return fmt.Errorf("optimized (answer %q, docs %d) != unoptimized (answer %q, docs %d) on a stable corpus",
+					optimized.Answer, optimized.Docs, plain.Answer, plain.Docs)
+			}
+			return nil
+		},
+		Verify: verifyServed("/query"),
+	})
+}
+
+// planContainsOp reports whether any node of an encoded plan carries op.
+func planContainsOp(plan json.RawMessage, op string) bool {
+	var p struct {
+		Nodes []struct {
+			Op string `json:"op"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(plan, &p); err != nil {
+		return false
+	}
+	for _, n := range p.Nodes {
+		if n.Op == op {
+			return true
+		}
+	}
+	return false
+}

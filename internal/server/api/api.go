@@ -14,6 +14,7 @@ package api
 import (
 	"encoding/json"
 
+	"aryn/internal/cost"
 	"aryn/internal/fault"
 	"aryn/internal/llm"
 	"aryn/internal/resilience"
@@ -154,6 +155,11 @@ type QueryRequest struct {
 	// IncludePlan attaches the original and rewritten plan JSON plus the
 	// compiled physical pipeline to the response.
 	IncludePlan bool `json:"include_plan,omitempty"`
+	// Optimize overrides the server's cost-based-optimization default for
+	// this request: true forces the optimize phase on, false forces it
+	// off, absent inherits the server configuration. Equivalence tests
+	// diff the same query both ways through this flag.
+	Optimize *bool `json:"optimize,omitempty"`
 }
 
 // PlanDetail carries every stage of a query's plan: what the planner
@@ -165,7 +171,16 @@ type QueryRequest struct {
 type PlanDetail struct {
 	Original  json.RawMessage `json:"original,omitempty"`
 	Rewritten json.RawMessage `json:"rewritten,omitempty"`
-	Compiled  string          `json:"compiled,omitempty"`
+	// Optimized is the plan after the cost-based optimize phase (absent
+	// when the phase is off for this request).
+	Optimized json.RawMessage `json:"optimized,omitempty"`
+	// Cost/CostOptimized are the cost model's pre-execution estimates for
+	// the rewritten and optimized plans: per-node document cardinalities,
+	// LLM calls, and unit costs, with Observed marking figures refined by
+	// feedback-store evidence.
+	Cost          *cost.PlanEstimate `json:"cost,omitempty"`
+	CostOptimized *cost.PlanEstimate `json:"cost_optimized,omitempty"`
+	Compiled      string             `json:"compiled,omitempty"`
 	// Executed is the rewritten plan with a "runtime" object per node and
 	// an "exec" query-level summary (wall_ms, worker budget, scheduled
 	// branches). Present on executed queries (POST /query with
@@ -203,6 +218,9 @@ type PlanRequest struct {
 	// executed plan annotated with per-node runtime metrics — EXPLAIN
 	// ANALYZE: full runtime feedback without the answer payload.
 	Analyze bool `json:"analyze,omitempty"`
+	// Optimize overrides the server's cost-based-optimization default for
+	// this request (see QueryRequest.Optimize).
+	Optimize *bool `json:"optimize,omitempty"`
 }
 
 // PlanResponse is the inspectable half of the inspect→edit→re-run loop.
@@ -369,6 +387,10 @@ type StatsResponse struct {
 	Fault          *fault.Stats      `json:"fault,omitempty"`
 	Degraded       bool              `json:"degraded"`
 	DegradedServed int64             `json:"degraded_served"`
+	// Optimizer reports the cost-model feedback store: distinct operator
+	// signatures observed, total observations, and optimizer lookup
+	// hit/miss counts.
+	Optimizer *cost.StoreStats `json:"optimizer,omitempty"`
 	// Endpoints breaks the traffic down per route: request counts by
 	// outcome class (ok / client error / server error / shed) plus
 	// cumulative and max handler latency — the server-side counters the

@@ -327,6 +327,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.sys.Fault.Stats()
 		resp.Fault = &st
 	}
+	ost := s.sys.OptimizerStats()
+	resp.Optimizer = &ost
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -425,7 +427,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.workCtx(r)
 	defer cancel()
 	start := time.Now()
-	svc := s.sys.QueryService()
+	svc := s.queryService(req.Optimize)
 
 	if req.Analyze {
 		s.handleAnalyze(w, r, ctx, svc, req, start)
@@ -455,7 +457,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, PlanResponse{
 		TraceID:  traceFrom(r.Context()),
 		Question: req.Question,
-		Plan:     planDetail(preview.Plan, preview.Rewritten, preview.Compiled),
+		Plan:     previewDetail(preview),
 		WallMS:   time.Since(start).Milliseconds(),
 	})
 }
@@ -485,8 +487,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, ctx conte
 		s.writeError(w, r, statusOf(err), err)
 		return
 	}
-	detail := planDetail(res.Plan, res.Rewritten, res.Compiled)
-	detail.Executed = executedPlan(res)
+	detail := resultDetail(res)
 	s.writeJSON(w, http.StatusOK, PlanResponse{
 		TraceID:  traceFrom(r.Context()),
 		Question: req.Question,
@@ -496,12 +497,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, ctx conte
 }
 
 // executedPlan renders a result's EXPLAIN ANALYZE annotation (nil when
-// the result carries no runtime detail).
+// the result carries no runtime detail). The annotation is built over the
+// plan that actually ran — the optimized plan when the optimize phase was
+// on — so node IDs line up with the runtime trace.
 func executedPlan(res *luna.Result) json.RawMessage {
-	if res.Exec == nil || res.Rewritten == nil {
+	ran := res.ExecutedPlan()
+	if res.Exec == nil || ran == nil {
 		return nil
 	}
-	return json.RawMessage(res.Rewritten.AnnotatedJSON(res.Exec))
+	return json.RawMessage(ran.AnnotatedJSON(res.Exec))
 }
 
 // decodePlan parses a submitted plan body (DAG or legacy linear form).
@@ -523,6 +527,42 @@ func planDetail(original, rewritten *luna.LogicalPlan, compiled string) PlanDeta
 		d.Rewritten = json.RawMessage(rewritten.JSON())
 	}
 	return d
+}
+
+// resultDetail renders an executed result's full plan detail: the stage
+// plans, the optimized plan and cost estimates when the optimize phase
+// ran, and the EXPLAIN ANALYZE annotation.
+func resultDetail(res *luna.Result) PlanDetail {
+	d := planDetail(res.Plan, res.Rewritten, res.Compiled)
+	if res.Optimized != nil {
+		d.Optimized = json.RawMessage(res.Optimized.JSON())
+	}
+	d.Cost = res.Cost
+	d.CostOptimized = res.CostOptimized
+	d.Executed = executedPlan(res)
+	return d
+}
+
+// previewDetail renders a planned-but-not-executed preview's plan detail,
+// including the cost-annotated original and optimized plans.
+func previewDetail(pv *luna.PlanPreview) PlanDetail {
+	d := planDetail(pv.Plan, pv.Rewritten, pv.Compiled)
+	if pv.Optimized != nil {
+		d.Optimized = json.RawMessage(pv.Optimized.JSON())
+	}
+	d.Cost = pv.Cost
+	d.CostOptimized = pv.CostOptimized
+	return d
+}
+
+// queryService resolves the service for one request: the system's wired
+// service, with the request's optimize override applied when present.
+func (s *Server) queryService(optimize *bool) *luna.Service {
+	svc := s.sys.QueryService()
+	if svc != nil && optimize != nil {
+		svc = svc.WithOptimize(*optimize)
+	}
+	return svc
 }
 
 // maybeDegrade serves the degradation contract for /query: when err means
@@ -557,8 +597,7 @@ func (s *Server) degradedQueryResponse(r *http.Request, question string, include
 		WallMS:         time.Since(start).Milliseconds(),
 	}
 	if includePlan && res != nil {
-		d := planDetail(res.Plan, res.Rewritten, res.Compiled)
-		d.Executed = executedPlan(res)
+		d := resultDetail(res)
 		out.Plan = &d
 	}
 	s.degradedServed.Add(1)
@@ -599,7 +638,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if question == "" {
 			question = "(user-submitted plan)"
 		}
-		res, err := s.sys.QueryService().RunPlan(ctx, question, plan)
+		res, err := s.queryService(req.Optimize).RunPlan(ctx, question, plan)
 		if err != nil {
 			if s.maybeDegrade(w, r, question, req.IncludePlan, res, err, start) {
 				return
@@ -616,8 +655,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			WallMS:   time.Since(start).Milliseconds(),
 		}
 		if req.IncludePlan {
-			d := planDetail(res.Plan, res.Rewritten, res.Compiled)
-			d.Executed = executedPlan(res)
+			d := resultDetail(res)
 			out.Plan = &d
 		}
 		s.writeJSON(w, http.StatusOK, out)
@@ -648,7 +686,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.sys.QueryService().Ask(ctx, req.Question)
+	res, err := s.queryService(req.Optimize).Ask(ctx, req.Question)
 	if err != nil {
 		if s.maybeDegrade(w, r, req.Question, req.IncludePlan, res, err, start) {
 			return
@@ -666,8 +704,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		WallMS:   time.Since(start).Milliseconds(),
 	}
 	if req.IncludePlan {
-		d := planDetail(res.Plan, res.Rewritten, res.Compiled)
-		d.Executed = executedPlan(res)
+		d := resultDetail(res)
 		out.Plan = &d
 	}
 	s.writeJSON(w, http.StatusOK, out)

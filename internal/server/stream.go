@@ -193,7 +193,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		svc := s.sys.QueryService()
+		svc := s.queryService(req.Optimize)
 		var o outcome
 		if plan != nil {
 			o.res, o.err = svc.RunPlanStream(ctx, question, plan, hooks)
@@ -276,8 +276,7 @@ func (s *Server) streamResult(conn *sseConn, r *http.Request, question string, i
 		WallMS:   time.Since(start).Milliseconds(),
 	}
 	if includePlan {
-		d := planDetail(res.Plan, res.Rewritten, res.Compiled)
-		d.Executed = executedPlan(res)
+		d := resultDetail(res)
 		out.Plan = &d
 	}
 	conn.send(api.EventResult, out)
